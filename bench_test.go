@@ -1,0 +1,333 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (see DESIGN.md §4, "Per-experiment index"). Each benchmark
+// runs the corresponding experiment harness and reports the headline
+// numbers via b.ReportMetric, so `go test -bench=. -benchmem` prints the
+// same series the paper plots. Micro-benchmarks for the substrates
+// (packet codec, iCRC, switch pipeline, full testbed runs) follow.
+package lumina_test
+
+import (
+	"fmt"
+	"net/netip"
+	"testing"
+
+	lumina "github.com/lumina-sim/lumina"
+	"github.com/lumina-sim/lumina/internal/config"
+	"github.com/lumina-sim/lumina/internal/experiments"
+	"github.com/lumina-sim/lumina/internal/orchestrator"
+	"github.com/lumina-sim/lumina/internal/packet"
+	"github.com/lumina-sim/lumina/internal/rnic"
+	"github.com/lumina-sim/lumina/internal/sim"
+	"github.com/lumina-sim/lumina/internal/yamlite"
+)
+
+// BenchmarkFigure7_InjectorOverhead regenerates Figure 7: average
+// message completion time under the four switch modes. Metrics:
+// <variant>_<size>_mct_us.
+func BenchmarkFigure7_InjectorOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := experiments.Figure7(100)
+		if i == 0 {
+			for _, p := range pts {
+				name := fmt.Sprintf("%s_%dKB_mct_us", p.Variant, p.MsgBytes/1024)
+				b.ReportMetric(p.AvgMCT.Microseconds(), name)
+			}
+		}
+	}
+}
+
+// BenchmarkFigure8_NACKGeneration regenerates Figure 8: NACK generation
+// latency versus drop position, per NIC and verb.
+func BenchmarkFigure8_NACKGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := experiments.Figures8And9(rnic.HardwareModelNames(), []int{1, 40, 99})
+		if i == 0 {
+			for _, p := range pts {
+				b.ReportMetric(p.Gen.Microseconds(),
+					fmt.Sprintf("%s_%s_p%d_gen_us", p.Model, p.Verb, p.DropPos))
+			}
+		}
+	}
+}
+
+// BenchmarkFigure9_NACKReaction regenerates Figure 9: NACK reaction
+// latency versus drop position.
+func BenchmarkFigure9_NACKReaction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := experiments.Figures8And9(rnic.HardwareModelNames(), []int{1, 40, 99})
+		if i == 0 {
+			for _, p := range pts {
+				b.ReportMetric(p.React.Microseconds(),
+					fmt.Sprintf("%s_%s_p%d_react_us", p.Model, p.Verb, p.DropPos))
+			}
+		}
+	}
+}
+
+// BenchmarkFigure10_ETS regenerates Figure 10: per-QP goodput under the
+// three ETS settings, on the buggy CX6 Dx and the spec baseline.
+func BenchmarkFigure10_ETS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, model := range []string{rnic.ModelCX6, rnic.ModelSpec} {
+			pts := experiments.Figure10(model)
+			if i == 0 {
+				for _, p := range pts {
+					b.ReportMetric(p.GoodputGbps,
+						fmt.Sprintf("%s_%s_qp%d_gbps", model, p.Setting, p.QP))
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFigure11_NoisyNeighbor regenerates Figure 11: innocent-flow
+// MCTs versus the number of drop-injected Read connections on CX4 Lx.
+func BenchmarkFigure11_NoisyNeighbor(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := experiments.Figure11(rnic.ModelCX4, []int{0, 8, 12, 16})
+		if i == 0 {
+			for _, p := range pts {
+				b.ReportMetric(float64(p.InnocentMCT)/1e6,
+					fmt.Sprintf("drop%d_innocent_mct_ms", p.DropConns))
+				b.ReportMetric(float64(p.RxDiscards),
+					fmt.Sprintf("drop%d_rx_discards", p.DropConns))
+			}
+		}
+	}
+}
+
+// BenchmarkTable2_BugMatrix regenerates Table 2's detection matrix.
+func BenchmarkTable2_BugMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := experiments.Table2()
+		if i == 0 {
+			detected := 0
+			for _, row := range tab.Rows {
+				if row[1] != "none" {
+					detected++
+				}
+			}
+			b.ReportMetric(float64(detected), "findings_detected")
+		}
+	}
+}
+
+// BenchmarkInterop_E810_CX5 regenerates the §6.2.3 interoperability
+// sweep: responder discards and victim MCTs versus QP count, with and
+// without the MigReq rewrite.
+func BenchmarkInterop_E810_CX5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := experiments.Interop([]int{4, 16}, false)
+		fixed := experiments.Interop([]int{16}, true)
+		if i == 0 {
+			for _, p := range pts {
+				b.ReportMetric(float64(p.RxDiscards), fmt.Sprintf("qp%d_discards", p.QPs))
+				if p.SlowMsgs > 0 {
+					b.ReportMetric(p.AvgSlowMCT.Microseconds(), fmt.Sprintf("qp%d_slow_mct_us", p.QPs))
+				}
+			}
+			b.ReportMetric(float64(fixed[0].RxDiscards), "qp16_fixed_discards")
+		}
+	}
+}
+
+// BenchmarkHidden_CNPInterval regenerates the §6.3 CNP-interval probe
+// (E810's hidden ~50µs floor).
+func BenchmarkHidden_CNPInterval(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := experiments.CNPIntervals(nil)
+		if i == 0 {
+			for _, p := range pts {
+				b.ReportMetric(p.MinInterval.Microseconds(), p.Model+"_min_cnp_gap_us")
+			}
+		}
+	}
+}
+
+// BenchmarkHidden_CNPModes regenerates the §6.3 rate-limiter scope
+// classification (1 = matches the paper's reported mode).
+func BenchmarkHidden_CNPModes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := experiments.CNPScopes(nil)
+		if i == 0 {
+			for _, p := range pts {
+				match := 0.0
+				if p.Inferred == p.Expected {
+					match = 1.0
+				}
+				b.ReportMetric(match, p.Model+"_scope_match")
+			}
+		}
+	}
+}
+
+// BenchmarkHidden_AdaptiveRetrans regenerates the §6.3 adaptive
+// retransmission timeout schedule on CX6 Dx.
+func BenchmarkHidden_AdaptiveRetrans(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := experiments.AdaptiveRetrans(rnic.ModelCX6, true, 7)
+		if i == 0 {
+			for _, p := range pts {
+				b.ReportMetric(float64(p.Timeout)/1e6, fmt.Sprintf("retry%d_timeout_ms", p.Retry))
+			}
+		}
+	}
+}
+
+// BenchmarkDumperLoadBalancing regenerates the §3.4 capture-success
+// comparison between the two-host design and the load-balanced pool.
+func BenchmarkDumperLoadBalancing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := experiments.DumperLB(6)
+		if i == 0 {
+			for _, p := range pts {
+				name := "pool_success_pct"
+				if p.Design[:3] == "two" {
+					name = "twohost_success_pct"
+				}
+				b.ReportMetric(p.SuccessRatio*100, name)
+			}
+		}
+	}
+}
+
+// BenchmarkSwitchPipeline measures the simulated injector's packet
+// processing throughput (packets fully parsed, matched, mirrored, and
+// forwarded per second of wall time).
+func BenchmarkSwitchPipeline(b *testing.B) {
+	cfg := config.Default()
+	cfg.Traffic.NumConnections = 4
+	cfg.Traffic.NumMsgsPerQP = 25
+	cfg.Traffic.MessageSize = 10240
+	b.ResetTimer()
+	totalPkts := 0
+	for i := 0; i < b.N; i++ {
+		rep, err := orchestrator.Run(cfg, orchestrator.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		totalPkts += int(rep.SwitchTotals.RxRoCE)
+	}
+	b.ReportMetric(float64(totalPkts)/b.Elapsed().Seconds(), "switch_pkts/s")
+}
+
+// --- substrate micro-benchmarks ---
+
+func benchPacket() *packet.Packet {
+	return &packet.Packet{
+		Eth: packet.Ethernet{Dst: packet.MAC{2, 0, 0, 0, 0, 2}, Src: packet.MAC{2, 0, 0, 0, 0, 1}, EtherType: packet.EtherTypeIPv4},
+		IP: packet.IPv4{
+			TTL: 64, Protocol: packet.ProtoUDP, ECN: packet.ECNECT0,
+			Src: netip.MustParseAddr("10.0.0.1"), Dst: netip.MustParseAddr("10.0.0.2"),
+		},
+		UDP:     packet.UDP{SrcPort: 49152, DstPort: packet.RoCEv2Port},
+		BTH:     packet.BTH{Opcode: packet.OpWriteMiddle, DestQP: 7, PSN: 100},
+		Payload: make([]byte, 1024),
+	}
+}
+
+func BenchmarkPacketSerialize(b *testing.B) {
+	p := benchPacket()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = p.Serialize()
+	}
+}
+
+func BenchmarkPacketDecode(b *testing.B) {
+	wire := benchPacket().Serialize()
+	var pkt packet.Packet
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := packet.Decode(wire, &pkt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkICRC(b *testing.B) {
+	wire := benchPacket().Serialize()
+	b.SetBytes(int64(len(wire)))
+	for i := 0; i < b.N; i++ {
+		_ = packet.ComputeICRC(wire[:len(wire)-4])
+	}
+}
+
+func BenchmarkYamliteParse(b *testing.B) {
+	src := []byte(`
+traffic:
+  num-connections: 2
+  rdma-verb: write
+  message-size: 10240
+  data-pkt-events:
+    - {qpn: 1, psn: 4, type: ecn, iter: 1}
+    - {qpn: 2, psn: 5, type: drop, iter: 1}
+`)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := yamlite.Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEndToEndRun measures a complete orchestrated test (setup,
+// traffic, mirroring, trace reconstruction, integrity check) per
+// wall-clock second.
+func BenchmarkEndToEndRun(b *testing.B) {
+	cfg := lumina.DefaultConfig()
+	cfg.Traffic.NumMsgsPerQP = 5
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := lumina.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.IntegrityOK {
+			b.Fatal(rep.IntegrityDetail)
+		}
+	}
+}
+
+// BenchmarkSimulatorEvents measures raw event-loop throughput.
+func BenchmarkSimulatorEvents(b *testing.B) {
+	s := sim.New(1)
+	var pump func()
+	n := 0
+	pump = func() {
+		n++
+		if n < b.N {
+			s.After(10, pump)
+		}
+	}
+	s.After(10, pump)
+	b.ResetTimer()
+	s.Run()
+	b.ReportMetric(float64(s.Executed())/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkAblations quantifies DESIGN.md's single-mechanism design
+// choices (ETS clamp cost, wedge amplification, strict-APM damage, RSS
+// rewrite benefit, ACK coalescing overhead).
+func BenchmarkAblations(b *testing.B) {
+	sanitize := func(s string) string {
+		out := make([]rune, 0, len(s))
+		for _, r := range s {
+			switch r {
+			case ' ', '(', ')':
+				out = append(out, '_')
+			default:
+				out = append(out, r)
+			}
+		}
+		return string(out)
+	}
+	for i := 0; i < b.N; i++ {
+		pts := experiments.AblationAll()
+		if i == 0 {
+			for _, p := range pts {
+				b.ReportMetric(p.Value, sanitize(p.Ablation+"/"+p.Variant+"/"+p.Metric))
+			}
+		}
+	}
+}

@@ -1,0 +1,118 @@
+// Command lumina-bench regenerates the paper's tables and figures
+// (see DESIGN.md's per-experiment index) and prints the measured rows.
+//
+// Usage:
+//
+//	lumina-bench                  # run everything
+//	lumina-bench -run fig8        # one experiment: fig7|fig8|fig9|fig10|
+//	                              # fig11|table2|interop|cnp-interval|
+//	                              # cnp-scope|adaptive|dumper-lb|overhead|
+//	                              # ablation
+//	lumina-bench -msgs 200        # Figure 7 message count (default 1000)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/lumina-sim/lumina/internal/experiments"
+	"github.com/lumina-sim/lumina/internal/rnic"
+)
+
+func main() {
+	runSel := flag.String("run", "all", "experiment to run (comma separated), or 'all'")
+	msgs := flag.Int("msgs", 1000, "Figure 7: messages per size/variant")
+	lbRuns := flag.Int("lb-runs", 10, "dumper load-balancing: seeds per design")
+	format := flag.String("format", "table", "output format: table | csv")
+	flag.Parse()
+
+	render := func(t *experiments.Table) string { return t.Render() }
+	if *format == "csv" {
+		render = func(t *experiments.Table) string { return t.RenderCSV() }
+	}
+
+	selected := map[string]bool{}
+	for _, s := range strings.Split(*runSel, ",") {
+		selected[strings.TrimSpace(s)] = true
+	}
+	want := func(name string) bool { return selected["all"] || selected[name] }
+	ran := 0
+	section := func(name string, fn func()) {
+		if !want(name) {
+			return
+		}
+		ran++
+		start := time.Now()
+		fmt.Printf("=== %s ===\n", name)
+		fn()
+		fmt.Printf("(%s took %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	section("fig7", func() {
+		pts := experiments.Figure7(*msgs)
+		fmt.Print(render(experiments.Figure7Table(pts)))
+	})
+	section("fig8", func() {
+		pts := experiments.Figures8And9(nil, nil)
+		fmt.Print(render(experiments.Figure8Table(pts)))
+		fmt.Println()
+		fmt.Print(render(experiments.Figure9Table(pts)))
+	})
+	section("fig9", func() {
+		if want("fig8") && (selected["all"] || len(selected) > 1) {
+			return // already printed with fig8
+		}
+		pts := experiments.Figures8And9(nil, nil)
+		fmt.Print(render(experiments.Figure9Table(pts)))
+	})
+	section("fig10", func() {
+		var pts []experiments.Figure10Point
+		for _, model := range []string{rnic.ModelCX6, rnic.ModelSpec} {
+			pts = append(pts, experiments.Figure10(model)...)
+		}
+		fmt.Print(render(experiments.Figure10Table(pts)))
+	})
+	section("fig11", func() {
+		pts := experiments.Figure11(rnic.ModelCX4, nil)
+		fmt.Print(render(experiments.Figure11Table(pts)))
+	})
+	section("interop", func() {
+		pts := experiments.Interop(nil, false)
+		pts = append(pts, experiments.Interop([]int{16}, true)...)
+		fmt.Print(render(experiments.InteropTable(pts)))
+	})
+	section("cnp-interval", func() {
+		fmt.Print(render(experiments.CNPIntervalTable(experiments.CNPIntervals(nil))))
+	})
+	section("cnp-scope", func() {
+		fmt.Print(render(experiments.CNPScopeTable(experiments.CNPScopes(nil))))
+	})
+	section("adaptive", func() {
+		var pts []experiments.AdaptiveRetransPoint
+		pts = append(pts, experiments.AdaptiveRetrans(rnic.ModelCX6, true, 7)...)
+		pts = append(pts, experiments.AdaptiveRetrans(rnic.ModelCX6, false, 3)...)
+		fmt.Print(render(experiments.AdaptiveRetransTable(pts)))
+	})
+	section("dumper-lb", func() {
+		fmt.Print(render(experiments.DumperLBTable(experiments.DumperLB(*lbRuns))))
+	})
+	section("overhead", func() {
+		p := experiments.SwitchOverhead()
+		fmt.Printf("switch pipeline one-way added latency: %.3fµs (configured %dns; paper reports <0.4µs)\n",
+			float64(p.OneWayExtra)/1000, p.PipelineNs)
+	})
+	section("table2", func() {
+		fmt.Print(render(experiments.Table2()))
+	})
+	section("ablation", func() {
+		fmt.Print(render(experiments.AblationTable(experiments.AblationAll())))
+	})
+
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no experiment matches %q\n", *runSel)
+		os.Exit(2)
+	}
+}

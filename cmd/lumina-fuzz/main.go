@@ -1,0 +1,100 @@
+// Command lumina-fuzz runs the genetic test-case generation module
+// (§4, Algorithm 1) against a built-in target.
+//
+// Usage:
+//
+//	lumina-fuzz -target noisy-neighbor -model cx4 -iters 40 [-seed 7]
+//	lumina-fuzz -target counter-bugs -model e810 -iters 30
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	lumina "github.com/lumina-sim/lumina"
+	"github.com/lumina-sim/lumina/internal/analyzer"
+	"github.com/lumina-sim/lumina/internal/fuzz"
+	"github.com/lumina-sim/lumina/internal/orchestrator"
+	"github.com/lumina-sim/lumina/internal/sim"
+)
+
+func main() {
+	targetName := flag.String("target", "noisy-neighbor", "noisy-neighbor | counter-bugs")
+	model := flag.String("model", "cx4", "NIC model under test")
+	iters := flag.Int("iters", 30, "mutation iterations")
+	seed := flag.Int64("seed", 1, "search seed")
+	stopFirst := flag.Bool("stop-first", false, "stop at the first anomaly")
+	saveDir := flag.String("save", "", "directory to save anomalous configs as replayable YAML")
+	flag.Parse()
+
+	var target fuzz.Target
+	switch *targetName {
+	case "noisy-neighbor":
+		target = fuzz.NoisyNeighborTarget(*model)
+	case "counter-bugs":
+		target = fuzz.CounterBugTarget(*model, func(rep *orchestrator.Report) int {
+			return len(analyzer.CheckCounters(rep.Trace,
+				lumina.HostViewOf("requester", rep.Config.Requester, rep.RequesterCounters),
+				lumina.HostViewOf("responder", rep.Config.Responder, rep.ResponderCounters),
+			))
+		})
+	default:
+		fmt.Fprintf(os.Stderr, "unknown target %q\n", *targetName)
+		os.Exit(2)
+	}
+
+	f, err := fuzz.New(target, fuzz.Options{
+		Seed: *seed, PoolSize: 6, AcceptProb: 0.2,
+		Deadline: 300 * sim.Second, StopAtFirstAnomaly: *stopFirst,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("fuzzing target %q on %s (%d iterations, seed %d)\n",
+		target.Name, *model, *iters, *seed)
+	res, err := f.Run(*iters)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("evaluations: %d  best score: %.2f  best genome: %v\n",
+		res.Evaluations, res.BestScore, res.BestGenome)
+	if len(res.Findings) == 0 {
+		fmt.Println("no anomalies crossed the threshold")
+		return
+	}
+	fmt.Printf("%d anomalies found:\n", len(res.Findings))
+	for i, fd := range res.Findings {
+		fmt.Printf("  #%d score=%.2f genome=%v", i+1, fd.Score, fd.Genome)
+		for pi, p := range target.Params {
+			fmt.Printf(" %s=%d", p.Name, fd.Genome[pi])
+		}
+		fmt.Println()
+		if *saveDir != "" && i < 20 {
+			cfg := target.Build(fd.Genome)
+			cfg.Name = fmt.Sprintf("%s-finding-%d", target.Name, i+1)
+			yml, err := cfg.MarshalYAML()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "marshal:", err)
+				continue
+			}
+			if err := os.MkdirAll(*saveDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*saveDir, cfg.Name+".yaml")
+			if err := os.WriteFile(path, yml, 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("     saved: %s (replay with: lumina -config %s)\n", path, path)
+		}
+		if i >= 9 && *saveDir == "" {
+			fmt.Printf("  … and %d more\n", len(res.Findings)-10)
+			break
+		}
+	}
+}

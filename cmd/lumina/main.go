@@ -1,0 +1,112 @@
+// Command lumina runs one Lumina test from a yamlite configuration file
+// (the paper's Listings 1–2 schema), prints a summary, and optionally
+// writes the collected artifacts (report.json, trace.pcap) to a
+// directory.
+//
+// Usage:
+//
+//	lumina -config test.yaml [-out results/] [-analyze] [-deadline 600]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	lumina "github.com/lumina-sim/lumina"
+	"github.com/lumina-sim/lumina/internal/sim"
+)
+
+func main() {
+	cfgPath := flag.String("config", "", "test configuration file (yamlite)")
+	outDir := flag.String("out", "", "directory for artifacts (report.json, trace.pcap)")
+	analyze := flag.Bool("analyze", true, "run the built-in analyzers on the trace")
+	deadline := flag.Int("deadline", 600, "virtual-time deadline in seconds")
+	flag.Parse()
+
+	if *cfgPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: lumina -config test.yaml [-out dir]")
+		os.Exit(2)
+	}
+	cfg, err := lumina.LoadConfig(*cfgPath)
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := lumina.RunWithOptions(cfg, lumina.Options{
+		Deadline: sim.Duration(*deadline) * sim.Second,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("test %q: %d connection(s), verb=%s, %d msg(s) × %d B\n",
+		cfg.Name, cfg.Traffic.NumConnections, cfg.Traffic.Verb,
+		cfg.Traffic.NumMsgsPerQP, cfg.Traffic.MessageSize)
+	fmt.Printf("virtual duration: %v  timed-out: %v\n", rep.DurationNs, rep.TimedOut)
+	if rep.IntegrityOK {
+		fmt.Printf("trace: %d packets, integrity OK\n", len(rep.Trace.Entries))
+	} else {
+		fmt.Printf("trace: %d packets, INTEGRITY FAILED: %s\n", len(rep.Trace.Entries), rep.IntegrityDetail)
+	}
+	fmt.Printf("aggregate goodput: %.2f Gbps, avg MCT: %v\n",
+		rep.Traffic.TotalGoodputGbps(), rep.Traffic.AvgMCT())
+	for i := range rep.Traffic.Conns {
+		c := &rep.Traffic.Conns[i]
+		fmt.Printf("  conn %2d qpn=%#x: %v  avg MCT %v  goodput %.2f Gbps\n",
+			c.Index, c.ReqQPN, statusSummary(c.Statuses), c.AvgMCT(), c.GoodputGbps())
+	}
+
+	if *analyze && rep.IntegrityOK && len(rep.Trace.Entries) > 0 {
+		fmt.Println("\n--- analyzers ---")
+		gbn := lumina.CheckGoBackN(rep.Trace)
+		fmt.Printf("go-back-n logic: %d connection-direction(s), %d gap(s), %d violation(s)\n",
+			gbn.ConnsChecked, gbn.Events, len(gbn.Violations))
+		for _, v := range gbn.Violations {
+			fmt.Printf("  VIOLATION %s\n", v)
+		}
+		for _, ev := range lumina.AnalyzeRetransmissions(rep.Trace) {
+			kind := "fast-retransmit"
+			if ev.Timeout {
+				kind = "timeout"
+			}
+			fmt.Printf("retransmission psn=%d (%s): gen=%v react=%v total=%v\n",
+				ev.DroppedPSN, kind, ev.GenLatency(), ev.ReactLatency(), ev.TotalLatency())
+		}
+		cnp := lumina.AnalyzeCNP(rep.Trace)
+		if cnp.TotalCNPs() > 0 {
+			fmt.Printf("cnp: %d notification(s), min per-port gap %v, orphans %d\n",
+				cnp.TotalCNPs(), cnp.MinIntervalPerPort, cnp.Orphans)
+		}
+		inc := lumina.CheckCounters(rep.Trace,
+			lumina.HostViewOf("requester", cfg.Requester, rep.RequesterCounters),
+			lumina.HostViewOf("responder", cfg.Responder, rep.ResponderCounters),
+		)
+		if len(inc) == 0 {
+			fmt.Println("counters: consistent with trace")
+		}
+		for _, i := range inc {
+			fmt.Printf("counter INCONSISTENCY: %s\n", i)
+		}
+	}
+
+	if *outDir != "" {
+		if err := rep.WriteArtifacts(*outDir); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nartifacts written to %s\n", *outDir)
+	}
+}
+
+func statusSummary(st map[string]int) string {
+	if len(st) == 1 {
+		for k, v := range st {
+			return fmt.Sprintf("%d×%s", v, k)
+		}
+	}
+	return fmt.Sprintf("%v", st)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lumina:", err)
+	os.Exit(1)
+}

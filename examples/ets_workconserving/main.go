@@ -1,0 +1,64 @@
+// ETS work-conservation check: the experiment that exposed the CX6 Dx
+// scheduler bug (§6.2.1, Figure 10).
+//
+// Two QPs post 1 MB Writes. Under two 50%-weighted ETS queues with ECN
+// marked on one of every 50 packets of QP0, DCQCN throttles QP0 — and a
+// work-conserving scheduler should hand the freed bandwidth to QP1. On
+// CX6 Dx it does not: QP1 stays clamped at its 50% guarantee. Mapping
+// both QPs to a single queue (or using a spec-conforming NIC) restores
+// the expected behaviour.
+//
+// Run with: go run ./examples/ets_workconserving
+package main
+
+import (
+	"fmt"
+	"log"
+
+	lumina "github.com/lumina-sim/lumina"
+)
+
+func main() {
+	for _, model := range []string{lumina.ModelCX6, lumina.ModelSpec} {
+		fmt.Printf("--- %s ---\n", model)
+		for _, setting := range []string{"multi-queue-vanilla", "multi-queue-ecn", "single-queue-ecn"} {
+			g0, g1 := measure(model, setting)
+			fmt.Printf("%-22s QP0 %6.1f Gbps   QP1 %6.1f Gbps\n", setting, g0, g1)
+		}
+		fmt.Println()
+	}
+	fmt.Println("expected: under multi-queue-ecn, a work-conserving NIC lets QP1")
+	fmt.Println("absorb QP0's freed bandwidth (~90 Gbps); CX6 Dx clamps it at ~47.")
+}
+
+func measure(model, setting string) (qp0, qp1 float64) {
+	cfg := lumina.DefaultConfig()
+	cfg.Name = "ets-" + setting
+	cfg.Requester.NIC.Type = model
+	cfg.Responder.NIC.Type = model
+	cfg.Traffic.NumConnections = 2
+	cfg.Traffic.NumMsgsPerQP = 20
+	cfg.Traffic.MessageSize = 1 << 20
+	cfg.Traffic.TxDepth = 4
+
+	switch setting {
+	case "multi-queue-vanilla", "multi-queue-ecn":
+		cfg.Requester.ETS = []lumina.ETSQueue{{Weight: 50}, {Weight: 50}}
+		cfg.Traffic.QPTrafficClass = []int{0, 1}
+	case "single-queue-ecn":
+		cfg.Traffic.QPTrafficClass = []int{0, 0}
+	}
+	if setting != "multi-queue-vanilla" {
+		// Mark ECN on one out of every 50 packets of QP0 (the paper's
+		// congestion emulation for this test).
+		cfg.Traffic.Events = []lumina.Event{
+			{QPN: 1, PSN: 1, Type: "ecn", Iter: 1, Every: 50},
+		}
+	}
+
+	rep, err := lumina.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return rep.Traffic.Conns[0].GoodputGbps(), rep.Traffic.Conns[1].GoodputGbps()
+}

@@ -1,0 +1,68 @@
+// Quickstart: drop one packet of an RDMA Write and watch Go-back-N
+// recover it — Lumina's core loop in ~60 lines.
+//
+// The test drops the 5th data packet of a 10-packet Write on a pair of
+// simulated ConnectX-5 NICs, reconstructs the mirrored packet trace,
+// verifies its integrity, and prints the retransmission latency
+// breakdown (Figure 5 of the paper: NACK generation at the responder,
+// NACK reaction at the requester).
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	lumina "github.com/lumina-sim/lumina"
+)
+
+func main() {
+	cfg := lumina.DefaultConfig()
+	cfg.Name = "quickstart"
+	cfg.Requester.NIC.Type = lumina.ModelCX5
+	cfg.Responder.NIC.Type = lumina.ModelCX5
+	cfg.Traffic.Verb = "write"
+	cfg.Traffic.MessageSize = 10240 // 10 packets at MTU 1024
+	cfg.Traffic.NumMsgsPerQP = 1
+
+	// The deterministic injection intent: "drop the 5th packet of the
+	// 1st QP connection, first transmission round".
+	cfg.Traffic.Events = []lumina.Event{
+		{QPN: 1, PSN: 5, Type: "drop", Iter: 1},
+	}
+
+	rep, err := lumina.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("transfer finished in %v (virtual time)\n", rep.DurationNs)
+	fmt.Printf("trace: %d packets captured, integrity OK: %v\n",
+		len(rep.Trace.Entries), rep.IntegrityOK)
+
+	// The injector marked exactly one packet as dropped; the mirror copy
+	// still appears in the trace (mirroring happens before the drop).
+	for _, e := range rep.Trace.Entries {
+		if e.Meta.Event.String() == "drop" {
+			fmt.Printf("dropped:  seq=%d %v\n", e.Meta.Seq, e.Pkt.String())
+		}
+	}
+
+	// The Go-back-N logic checker replays the trace against the spec.
+	gbn := lumina.CheckGoBackN(rep.Trace)
+	fmt.Printf("go-back-n: %d gap(s) observed, %d violation(s)\n",
+		gbn.Events, len(gbn.Violations))
+
+	// The retransmission analyzer extracts the latency breakdown.
+	for _, ev := range lumina.AnalyzeRetransmissions(rep.Trace) {
+		fmt.Printf("recovery of PSN %d: NACK generation %v, NACK reaction %v, total %v\n",
+			ev.DroppedPSN, ev.GenLatency(), ev.ReactLatency(), ev.TotalLatency())
+	}
+
+	// Hardware counters collected from both NICs (Table 1 artifacts).
+	fmt.Printf("responder out_of_sequence=%d packet_seq_err=%d; requester retransmits=%d\n",
+		rep.ResponderCounters["out_of_sequence"],
+		rep.ResponderCounters["packet_seq_err"],
+		rep.RequesterCounters["retransmitted_packets"])
+}

@@ -1,0 +1,3 @@
+module github.com/lumina-sim/lumina
+
+go 1.22

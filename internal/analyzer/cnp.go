@@ -1,0 +1,131 @@
+package analyzer
+
+import (
+	"sort"
+
+	"github.com/lumina-sim/lumina/internal/packet"
+	"github.com/lumina-sim/lumina/internal/sim"
+	"github.com/lumina-sim/lumina/internal/trace"
+)
+
+// CNPReport is the congestion-notification analyzer's result (§4
+// "Congestion notification", §6.3's hidden behaviours).
+type CNPReport struct {
+	// ECNMarked counts CE-marked data packets per notification-point IP
+	// (the receiver that should react).
+	ECNMarked map[string]int
+	// CNPs counts congestion notifications per sender IP.
+	CNPs map[string]int
+	// MinIntervalPerPort / PerDstIP / PerQP are the smallest observed
+	// gaps between consecutive CNPs grouped at each scope. Comparing
+	// them against a configured limit infers the hardware's rate-limiter
+	// granularity.
+	MinIntervalPerPort sim.Duration
+	MinIntervalPerIP   sim.Duration
+	MinIntervalPerQP   sim.Duration
+
+	// Orphans counts CNPs with no preceding CE-marked packet in the
+	// opposite direction — spec violations.
+	Orphans int
+}
+
+// AnalyzeCNP inspects marking and notification behaviour in a trace.
+func AnalyzeCNP(tr *trace.Trace) *CNPReport {
+	rep := &CNPReport{
+		ECNMarked: map[string]int{},
+		CNPs:      map[string]int{},
+	}
+	// CE-marked data per receiver.
+	markedSeen := map[string]bool{} // "src>dst": CE data observed sender→receiver
+	var timesPerPort = map[string][]sim.Time{}
+	var timesPerIP = map[string][]sim.Time{}
+	var timesPerQP = map[string][]sim.Time{}
+
+	for i := range tr.Entries {
+		e := &tr.Entries[i]
+		op := e.Pkt.BTH.Opcode
+		switch {
+		case op.IsData() && e.Pkt.IP.ECN == packet.ECNCE && e.Meta.Event != packet.EventDrop:
+			rep.ECNMarked[e.Pkt.IP.Dst.String()]++
+			markedSeen[e.Pkt.IP.Src.String()+">"+e.Pkt.IP.Dst.String()] = true
+		case op.IsCNP():
+			src := e.Pkt.IP.Src.String()
+			dst := e.Pkt.IP.Dst.String()
+			rep.CNPs[src]++
+			// Orphan check: a CNP from src implies CE-marked data
+			// dst→src was seen earlier.
+			if !markedSeen[dst+">"+src] {
+				rep.Orphans++
+			}
+			ts := e.Time()
+			timesPerPort[src] = append(timesPerPort[src], ts)
+			timesPerIP[src+">"+dst] = append(timesPerIP[src+">"+dst], ts)
+			qpKey := dst + "/" + itoa(e.Pkt.BTH.DestQP)
+			timesPerQP[src+">"+qpKey] = append(timesPerQP[src+">"+qpKey], ts)
+		}
+	}
+	rep.MinIntervalPerPort = minGap(timesPerPort)
+	rep.MinIntervalPerIP = minGap(timesPerIP)
+	rep.MinIntervalPerQP = minGap(timesPerQP)
+	return rep
+}
+
+// InferScope classifies the rate-limiter granularity given the
+// configured (or hypothesized) minimum interval: the finest scope whose
+// observed per-group minimum gap still respects the limit. It requires
+// traffic with at least two QPs (and ideally two destination IPs) to
+// discriminate.
+func (r *CNPReport) InferScope(limit sim.Duration) string {
+	const slack = 9 // tolerate 10% under-measurement from switch timestamping
+	ok := func(g sim.Duration) bool { return g == 0 || g >= limit*slack/10 }
+	switch {
+	case ok(r.MinIntervalPerPort):
+		return "per-port"
+	case ok(r.MinIntervalPerIP):
+		return "per-dst-ip"
+	case ok(r.MinIntervalPerQP):
+		return "per-qp"
+	default:
+		return "unlimited"
+	}
+}
+
+// TotalCNPs sums notifications across senders.
+func (r *CNPReport) TotalCNPs() int {
+	n := 0
+	for _, v := range r.CNPs {
+		n += v
+	}
+	return n
+}
+
+func minGap(groups map[string][]sim.Time) sim.Duration {
+	var min sim.Duration
+	for _, ts := range groups {
+		if len(ts) < 2 {
+			continue
+		}
+		sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+		for i := 1; i < len(ts); i++ {
+			g := ts[i].Sub(ts[i-1])
+			if min == 0 || g < min {
+				min = g
+			}
+		}
+	}
+	return min
+}
+
+func itoa(v uint32) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [10]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}

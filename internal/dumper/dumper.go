@@ -1,0 +1,210 @@
+// Package dumper implements Lumina's traffic-dumper nodes (§3.4, §5):
+// servers that receive mirrored packets from the event injector, spread
+// them across CPU cores with Receive Side Scaling, trim each packet to
+// its first 128 bytes (all protocol headers, no IB payload), buffer the
+// trimmed records in memory, and write them out when the orchestrator
+// sends TERM — restoring the RSS-randomized UDP destination port to 4791
+// first.
+//
+// Each core has a finite descriptor ring and a finite processing rate;
+// when mirrored traffic arrives faster than a core can drain its ring,
+// the NIC discards packets (rx_discards_phy) — the phenomenon that made
+// the original two-host dumper design capture complete traces only ~30%
+// of the time and motivated per-packet load balancing across a pool.
+package dumper
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"github.com/lumina-sim/lumina/internal/packet"
+	"github.com/lumina-sim/lumina/internal/sim"
+)
+
+// Record is one captured (trimmed) mirror packet.
+type Record struct {
+	// Wire holds the trimmed packet bytes with the UDP destination port
+	// restored to 4791.
+	Wire []byte
+	// Arrival is the instant the dumper finished processing the packet.
+	Arrival sim.Time
+	// Node and Core locate where the packet was captured.
+	Node int
+	Core int
+}
+
+// Config sizes one dumper node.
+type Config struct {
+	Cores       int
+	PerCoreGbps float64 // sustained per-core processing rate
+	RingDepth   int     // per-core descriptor ring; overflow discards
+	TrimBytes   int
+}
+
+// DefaultConfig matches the paper's prototype: DPDK with RSS, 128-byte
+// trimming.
+func DefaultConfig() Config {
+	return Config{Cores: 8, PerCoreGbps: 5, RingDepth: 1024, TrimBytes: 128}
+}
+
+type core struct {
+	busyTil  sim.Time
+	queued   int
+	captured []Record
+}
+
+// Node is one traffic-dumper server.
+type Node struct {
+	Sim   *sim.Simulator
+	Index int
+	Cfg   Config
+
+	cores      []core
+	terminated bool
+
+	// Counters for integrity analysis.
+	RxPackets  uint64
+	RxDiscards uint64 // ring overflow (rx_discards_phy analogue)
+	Captured   uint64
+}
+
+// NewNode creates a dumper node; attach its port with AttachPort.
+func NewNode(s *sim.Simulator, index int, cfg Config) *Node {
+	if cfg.Cores <= 0 {
+		cfg.Cores = 1
+	}
+	if cfg.RingDepth <= 0 {
+		cfg.RingDepth = 1024
+	}
+	if cfg.TrimBytes <= 0 {
+		cfg.TrimBytes = 128
+	}
+	if cfg.PerCoreGbps <= 0 {
+		cfg.PerCoreGbps = 5
+	}
+	return &Node{Sim: s, Index: index, Cfg: cfg, cores: make([]core, cfg.Cores)}
+}
+
+// AttachPort binds the node to its switch-facing port.
+func (n *Node) AttachPort(p *sim.Port) {
+	p.SetReceiver(n.receive)
+}
+
+// receive is the RX path: RSS to a core, ring admission, service.
+func (n *Node) receive(wire []byte) {
+	if n.terminated {
+		return
+	}
+	n.RxPackets++
+	ci := n.rssCore(wire)
+	c := &n.cores[ci]
+	if c.queued >= n.Cfg.RingDepth {
+		n.RxDiscards++
+		return
+	}
+	c.queued++
+
+	trim := n.Cfg.TrimBytes
+	if trim > len(wire) {
+		trim = len(wire)
+	}
+	data := append([]byte(nil), wire[:trim]...)
+
+	now := n.Sim.Now()
+	start := now
+	if c.busyTil > start {
+		start = c.busyTil
+	}
+	// Service cost is charged for the full wire length — the core must
+	// DMA and inspect the packet before trimming.
+	done := start.Add(sim.TransferTime(len(wire), n.Cfg.PerCoreGbps))
+	c.busyTil = done
+	n.Sim.At(done, func() {
+		c.queued--
+		// Restore the RSS-randomized port before buffering (§3.4).
+		packet.RewriteUDPDstPort(data, packet.RoCEv2Port)
+		c.captured = append(c.captured, Record{
+			Wire: data, Arrival: n.Sim.Now(), Node: n.Index, Core: ci,
+		})
+		n.Captured++
+	})
+}
+
+// rssCore hashes the 5-tuple to pick a core — flow-affine, exactly why
+// the injector randomizes the UDP destination port to spread a single
+// QP's packets (§3.4).
+func (n *Node) rssCore(wire []byte) int {
+	if len(wire) < packet.EthernetSize+packet.IPv4Size+packet.UDPSize {
+		return 0
+	}
+	h := fnv.New32a()
+	h.Write(wire[14+9 : 14+10])  // protocol
+	h.Write(wire[14+12 : 14+20]) // src+dst IP
+	h.Write(wire[34 : 34+4])     // src+dst port
+	return int(h.Sum32()) % n.Cfg.Cores
+}
+
+// Terminate implements the orchestrator's TERM message: stop capturing
+// and return all buffered records ("write to disk").
+func (n *Node) Terminate() []Record {
+	n.terminated = true
+	var all []Record
+	for i := range n.cores {
+		all = append(all, n.cores[i].captured...)
+	}
+	return all
+}
+
+// CoreLoads reports packets captured per core (RSS balance diagnostics).
+func (n *Node) CoreLoads() []int {
+	out := make([]int, len(n.cores))
+	for i := range n.cores {
+		out[i] = len(n.cores[i].captured)
+	}
+	return out
+}
+
+// Pool is a set of dumper nodes managed together.
+type Pool struct {
+	Nodes []*Node
+}
+
+// NewPool builds n identically-configured nodes.
+func NewPool(s *sim.Simulator, n int, cfg Config) *Pool {
+	p := &Pool{}
+	for i := 0; i < n; i++ {
+		p.Nodes = append(p.Nodes, NewNode(s, i, cfg))
+	}
+	return p
+}
+
+// Terminate TERMs every node and returns all captured records.
+func (p *Pool) Terminate() []Record {
+	var all []Record
+	for _, n := range p.Nodes {
+		all = append(all, n.Terminate()...)
+	}
+	return all
+}
+
+// Discards sums rx discards across the pool.
+func (p *Pool) Discards() uint64 {
+	var d uint64
+	for _, n := range p.Nodes {
+		d += n.RxDiscards
+	}
+	return d
+}
+
+// Captured sums captured packets across the pool.
+func (p *Pool) Captured() uint64 {
+	var c uint64
+	for _, n := range p.Nodes {
+		c += n.Captured
+	}
+	return c
+}
+
+func (n *Node) String() string {
+	return fmt.Sprintf("Dumper(%d: %d cores, %.1f Gbps/core)", n.Index, n.Cfg.Cores, n.Cfg.PerCoreGbps)
+}

@@ -1,0 +1,107 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5 Figure 7; §6.1 Figures 8–9; §6.2 Figures 10–11 and the
+// interoperability/counter findings; §6.3 hidden behaviours; Table 2).
+// Each experiment builds test configurations, drives the orchestrator,
+// runs the relevant analyzers, and returns printable rows, so the same
+// code backs cmd/lumina-bench and the root bench_test.go.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/lumina-sim/lumina/internal/config"
+	"github.com/lumina-sim/lumina/internal/orchestrator"
+	"github.com/lumina-sim/lumina/internal/sim"
+)
+
+// Table is a printable experiment result.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// RenderCSV formats the table as CSV (header + rows), for plotting
+// pipelines.
+func (t *Table) RenderCSV() string {
+	var b strings.Builder
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return "\"" + strings.ReplaceAll(s, "\"", "\"\"") + "\""
+		}
+		return s
+	}
+	row := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(esc(c))
+		}
+		b.WriteByte('\n')
+	}
+	row(t.Columns)
+	for _, r := range t.Rows {
+		row(r)
+	}
+	return b.String()
+}
+
+// Render formats the table as aligned text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Columns)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// run executes a configuration with a generous deadline, panicking on
+// orchestration errors: experiment configs are constructed internally,
+// so an error is a programming bug, not user input.
+func run(cfg config.Test) *orchestrator.Report {
+	rep, err := orchestrator.Run(cfg, orchestrator.Options{Deadline: 600 * sim.Second})
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	return rep
+}
+
+func us(d sim.Duration) string { return fmt.Sprintf("%.2f", d.Microseconds()) }
+
+func msStr(d sim.Duration) string {
+	return fmt.Sprintf("%.3f", float64(d)/float64(sim.Millisecond))
+}
+
+func gbps(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+// baseHostPair returns requester/responder host configs for a model.
+func baseHostPair(model string) (config.Host, config.Host) {
+	c := config.Default()
+	c.Requester.NIC.Type = model
+	c.Responder.NIC.Type = model
+	return c.Requester, c.Responder
+}

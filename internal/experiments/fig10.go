@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/lumina-sim/lumina/internal/config"
+)
+
+// ETSSetting is one of Figure 10's three experiments.
+type ETSSetting string
+
+const (
+	ETSMultiQueueVanilla ETSSetting = "multi-queue-vanilla"
+	ETSMultiQueueECN     ETSSetting = "multi-queue-ecn"
+	ETSSingleQueueECN    ETSSetting = "single-queue-ecn"
+)
+
+// ETSSettings lists Figure 10's x-axis groups in order.
+func ETSSettings() []ETSSetting {
+	return []ETSSetting{ETSMultiQueueVanilla, ETSMultiQueueECN, ETSSingleQueueECN}
+}
+
+// Figure10Point is one bar of Figure 10: a QP's goodput under a setting.
+type Figure10Point struct {
+	Model       string
+	Setting     ETSSetting
+	QP          int
+	GoodputGbps float64
+}
+
+// Figure10 reproduces §6.2.1's work-conservation test: two QPs posting
+// 20 Write requests of 1 MB each, DCQCN enabled, under (1) two 50 %-
+// weighted ETS queues, (2) the same with ECN marked on one out of every
+// 50 packets of QP0, and (3) a single queue with the same marking. On a
+// work-conserving NIC QP1 absorbs the bandwidth DCQCN takes from QP0 in
+// setting 2; on CX6 Dx it stays clamped at its 50 % guarantee — the bug.
+func Figure10(model string) []Figure10Point {
+	var out []Figure10Point
+	for _, setting := range ETSSettings() {
+		cfg := config.Default()
+		cfg.Name = fmt.Sprintf("fig10-%s-%s", model, setting)
+		cfg.Requester.NIC.Type = model
+		cfg.Responder.NIC.Type = model
+		cfg.Traffic.NumConnections = 2
+		cfg.Traffic.NumMsgsPerQP = 20
+		cfg.Traffic.MessageSize = 1 << 20
+		cfg.Traffic.MTU = 1024
+		// Keep both QPs backlogged so goodput reflects scheduling.
+		cfg.Traffic.TxDepth = 4
+
+		switch setting {
+		case ETSMultiQueueVanilla, ETSMultiQueueECN:
+			cfg.Requester.ETS = []config.ETSQueue{{Weight: 50}, {Weight: 50}}
+			cfg.Traffic.QPTrafficClass = []int{0, 1}
+		case ETSSingleQueueECN:
+			cfg.Requester.ETS = nil
+			cfg.Traffic.QPTrafficClass = []int{0, 0}
+		}
+		if setting != ETSMultiQueueVanilla {
+			cfg.Traffic.Events = []config.Event{
+				{QPN: 1, PSN: 1, Type: "ecn", Iter: 1, Every: 50},
+			}
+		}
+		rep := run(cfg)
+		for i := range rep.Traffic.Conns {
+			c := &rep.Traffic.Conns[i]
+			out = append(out, Figure10Point{
+				Model: model, Setting: setting, QP: c.Index,
+				GoodputGbps: c.GoodputGbps(),
+			})
+		}
+	}
+	return out
+}
+
+// Figure10Table renders the goodput bars.
+func Figure10Table(points []Figure10Point) *Table {
+	t := &Table{
+		Title:   "Figure 10: goodput of two QPs under three ETS settings (Gbps)",
+		Columns: []string{"nic", "setting", "qp", "goodput-gbps"},
+	}
+	for _, p := range points {
+		t.Rows = append(t.Rows, []string{
+			p.Model, string(p.Setting), fmt.Sprintf("QP%d", p.QP), gbps(p.GoodputGbps),
+		})
+	}
+	return t
+}

@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"sort"
+	"strings"
+
+	"github.com/lumina-sim/lumina/internal/analyzer"
+	"github.com/lumina-sim/lumina/internal/config"
+	"github.com/lumina-sim/lumina/internal/rnic"
+	"github.com/lumina-sim/lumina/internal/sim"
+)
+
+// Table2 regenerates the paper's Table 2 ("Bugs and hidden behaviors"):
+// for every finding it runs the detecting experiment on each hardware
+// model and reports which NICs are affected, alongside the paper's
+// attribution.
+func Table2() *Table {
+	t := &Table{
+		Title:   "Table 2: bugs and hidden behaviors",
+		Columns: []string{"finding", "affected (detected)", "affected (paper)"},
+	}
+	t.Rows = append(t.Rows,
+		[]string{"Non-work conserving ETS (§6.2.1)", joinModels(DetectNonWorkConservingETS()), "cx6"},
+		[]string{"Noisy neighbor (§6.2.2)", joinModels(DetectNoisyNeighbor()), "cx4"},
+		[]string{"Interoperability problem (§6.2.3)", joinModels(DetectInteropProblem()), "cx5+e810"},
+		[]string{"Counter inconsistency (§6.2.4)", joinModels(DetectCounterBugs()), "cx4, e810"},
+		[]string{"CNP rate limiting modes (§6.3)", joinModels(DetectCNPRateLimiting()), "all NICs tested"},
+		[]string{"Adaptive retransmission (§6.3)", joinModels(DetectAdaptiveRetrans()), "all CX NICs"},
+	)
+	return t
+}
+
+func joinModels(ms []string) string {
+	if len(ms) == 0 {
+		return "none"
+	}
+	sort.Strings(ms)
+	return strings.Join(ms, ", ")
+}
+
+// DetectNonWorkConservingETS flags models whose lone active flow in one
+// of two 50%-weighted queues cannot exceed its guarantee.
+func DetectNonWorkConservingETS() []string {
+	var affected []string
+	for _, model := range rnic.HardwareModelNames() {
+		// A single active flow mapped to one of two 50%-weighted queues
+		// (the other queue idle) must still get the whole link on a
+		// work-conserving scheduler: same duration as a single queue.
+		measure := func(twoQueues bool) sim.Duration {
+			cfg := config.Default()
+			cfg.Requester.NIC.Type = model
+			cfg.Responder.NIC.Type = model
+			cfg.Traffic.NumConnections = 1
+			cfg.Traffic.NumMsgsPerQP = 5
+			cfg.Traffic.MessageSize = 1 << 20
+			cfg.Traffic.TxDepth = 4
+			if twoQueues {
+				cfg.Requester.ETS = []config.ETSQueue{{Weight: 50}, {Weight: 50}}
+				cfg.Traffic.QPTrafficClass = []int{0}
+			}
+			rep := run(cfg)
+			c := rep.Traffic.Conns[0]
+			return c.LastComplete.Sub(c.FirstPost)
+		}
+		one := measure(false)
+		two := measure(true)
+		if float64(two) > 1.5*float64(one) {
+			affected = append(affected, model)
+		}
+	}
+	return affected
+}
+
+// DetectNoisyNeighbor flags models where loss on 12 Read connections
+// inflates innocent connections' MCTs by orders of magnitude.
+func DetectNoisyNeighbor() []string {
+	var affected []string
+	for _, model := range rnic.HardwareModelNames() {
+		pts := Figure11(model, []int{12})
+		if len(pts) == 1 && pts[0].InnocentSlow {
+			affected = append(affected, model)
+		}
+	}
+	return affected
+}
+
+// DetectInteropProblem flags NIC pairings with receiver-side discards
+// under concurrent connection setup.
+func DetectInteropProblem() []string {
+	pts := Interop([]int{16}, false)
+	if len(pts) == 1 && pts[0].RxDiscards > 0 {
+		return []string{"cx5+e810"}
+	}
+	return nil
+}
+
+// DetectCounterBugs flags models whose counters disagree with the trace
+// under ECN marking (CNP counters) or read loss (implied NAK counters).
+func DetectCounterBugs() []string {
+	var affected []string
+	for _, model := range rnic.HardwareModelNames() {
+		bad := false
+
+		// CNP counter probe.
+		cfg := config.Default()
+		cfg.Requester.NIC.Type = model
+		cfg.Responder.NIC.Type = model
+		cfg.Traffic.MessageSize = 102400
+		cfg.Traffic.Events = []config.Event{{QPN: 1, PSN: 1, Type: "ecn", Iter: 1, Every: 10}}
+		rep := run(cfg)
+		if len(analyzer.CheckCounters(rep.Trace, hostViewFor("responder", cfg.Responder, rep.ResponderCounters))) > 0 {
+			bad = true
+		}
+
+		// Implied-NAK probe (read loss).
+		cfg = config.Default()
+		cfg.Requester.NIC.Type = model
+		cfg.Responder.NIC.Type = model
+		cfg.Traffic.Verb = "read"
+		cfg.Traffic.MessageSize = 102400
+		cfg.Traffic.NumMsgsPerQP = 1
+		cfg.Traffic.Events = []config.Event{{QPN: 1, PSN: 40, Type: "drop", Iter: 1}}
+		rep = run(cfg)
+		if len(analyzer.CheckCounters(rep.Trace, hostViewFor("requester", cfg.Requester, rep.RequesterCounters))) > 0 {
+			bad = true
+		}
+
+		if bad {
+			affected = append(affected, model)
+		}
+	}
+	return affected
+}
+
+// DetectCNPRateLimiting reports every model (the finding is that modes
+// exist, differ, and are undocumented) whose scope is verifiably
+// enforced; the per-model classification lives in CNPScopes.
+func DetectCNPRateLimiting() []string {
+	var affected []string
+	for _, p := range CNPScopes(nil) {
+		if p.Inferred != "unlimited" {
+			affected = append(affected, p.Model)
+		}
+	}
+	return affected
+}
+
+// DetectAdaptiveRetrans flags models whose adaptive-retransmission mode
+// deviates from the IB-spec timeout for the first retry.
+func DetectAdaptiveRetrans() []string {
+	var affected []string
+	for _, model := range rnic.HardwareModelNames() {
+		pts := AdaptiveRetrans(model, true, 3)
+		if len(pts) > 0 && pts[0].Timeout < pts[0].SpecRTO/2 {
+			affected = append(affected, model)
+		}
+	}
+	return affected
+}
+
+func hostViewFor(name string, h config.Host, ctr map[string]uint64) analyzer.HostView {
+	v := analyzer.HostView{Name: name, Counters: ctr}
+	for _, ip := range h.NIC.IPList {
+		v.IPs = append(v.IPs, ip.String())
+	}
+	return v
+}

@@ -1,0 +1,258 @@
+// Package fuzz implements Lumina's genetic test-case generation module
+// (§4, Algorithm 1). A target defines a bounded parameter space, a
+// mapping from parameter vectors (genomes) to test configurations, and a
+// multi-objective scoring function over run results; the fuzzer
+// maintains a pool of configurations, mutates random members, keeps
+// high-quality mutants (score at or above the pool median), keeps
+// low-quality ones with a small probability to preserve diversity, and
+// reports configurations whose score crosses the anomaly threshold.
+package fuzz
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/lumina-sim/lumina/internal/config"
+	"github.com/lumina-sim/lumina/internal/orchestrator"
+	"github.com/lumina-sim/lumina/internal/sim"
+)
+
+// Param bounds one genome dimension.
+type Param struct {
+	Name string
+	Min  int
+	Max  int // inclusive
+}
+
+// Genome is one point in the target's parameter space.
+type Genome []int
+
+// Clone copies the genome.
+func (g Genome) Clone() Genome { return append(Genome(nil), g...) }
+
+func (g Genome) String() string {
+	return fmt.Sprintf("%v", []int(g))
+}
+
+// Target describes what the fuzzer searches for: the space, the mapping
+// to runnable configurations, and the anomaly scoring.
+type Target struct {
+	Name   string
+	Params []Param
+	// Build maps a genome to a runnable test configuration.
+	Build func(Genome) config.Test
+	// Score rates a completed run's "quality" at triggering anomalies —
+	// the multi-objective Σ wᵢ·s(i) of Algorithm 1. Higher is more
+	// anomalous.
+	Score func(Genome, *orchestrator.Report) float64
+	// Threshold above which a configuration counts as an anomaly.
+	Threshold float64
+}
+
+// Options tune the search.
+type Options struct {
+	Seed       int64
+	PoolSize   int     // initial pool of valid configurations
+	AcceptProb float64 // probability of keeping a below-median mutant
+	// Deadline bounds each evaluation's virtual time.
+	Deadline sim.Duration
+	// StopAtFirstAnomaly ends the search as soon as one anomaly is found
+	// (Algorithm 1's "until anomaly found or timeout").
+	StopAtFirstAnomaly bool
+}
+
+// DefaultOptions mirror the paper's usage: small pool, mild diversity.
+func DefaultOptions() Options {
+	return Options{Seed: 1, PoolSize: 6, AcceptProb: 0.2, Deadline: 120 * sim.Second}
+}
+
+// Finding is one anomalous configuration.
+type Finding struct {
+	Genome Genome
+	Score  float64
+	Report *orchestrator.Report
+}
+
+// Result summarizes a search.
+type Result struct {
+	Findings    []Finding // sorted by score, descending
+	Evaluations int
+	BestScore   float64
+	BestGenome  Genome
+}
+
+type member struct {
+	genome Genome
+	score  float64
+}
+
+// Fuzzer runs Algorithm 1 over a target.
+type Fuzzer struct {
+	target Target
+	opts   Options
+	rng    *sim.RNG
+	pool   []member
+	res    Result
+}
+
+// New validates the target and prepares a fuzzer.
+func New(target Target, opts Options) (*Fuzzer, error) {
+	if len(target.Params) == 0 {
+		return nil, fmt.Errorf("fuzz: target needs parameters")
+	}
+	for _, p := range target.Params {
+		if p.Min > p.Max {
+			return nil, fmt.Errorf("fuzz: param %q has empty range", p.Name)
+		}
+	}
+	if target.Build == nil || target.Score == nil {
+		return nil, fmt.Errorf("fuzz: target needs Build and Score")
+	}
+	if opts.PoolSize <= 0 {
+		opts.PoolSize = 6
+	}
+	if opts.Deadline <= 0 {
+		opts.Deadline = 120 * sim.Second
+	}
+	return &Fuzzer{target: target, opts: opts, rng: sim.NewRNG(opts.Seed)}, nil
+}
+
+// randomGenome samples uniformly within bounds.
+func (f *Fuzzer) randomGenome() Genome {
+	g := make(Genome, len(f.target.Params))
+	for i, p := range f.target.Params {
+		g[i] = p.Min + f.rng.Intn(p.Max-p.Min+1)
+	}
+	return g
+}
+
+// mutate perturbs one or two dimensions: a small step or a fresh sample.
+func (f *Fuzzer) mutate(g Genome) Genome {
+	out := g.Clone()
+	n := 1 + f.rng.Intn(2)
+	for k := 0; k < n; k++ {
+		i := f.rng.Intn(len(out))
+		p := f.target.Params[i]
+		span := p.Max - p.Min
+		switch f.rng.Intn(3) {
+		case 0: // re-sample
+			out[i] = p.Min + f.rng.Intn(span+1)
+		case 1: // step up
+			step := 1 + f.rng.Intn(max(1, span/4))
+			out[i] = min(p.Max, out[i]+step)
+		default: // step down
+			step := 1 + f.rng.Intn(max(1, span/4))
+			out[i] = max(p.Min, out[i]-step)
+		}
+	}
+	return out
+}
+
+// evaluate runs one configuration and scores it.
+func (f *Fuzzer) evaluate(g Genome) (float64, *orchestrator.Report, error) {
+	cfg := f.target.Build(g)
+	// Derive a per-evaluation seed from the genome so identical genomes
+	// reproduce identical runs regardless of search order.
+	seed := int64(1)
+	for _, v := range g {
+		seed = seed*1000003 + int64(v) + 7
+	}
+	cfg.Seed = seed
+	rep, err := orchestrator.Run(cfg, orchestrator.Options{Deadline: f.opts.Deadline})
+	if err != nil {
+		return 0, nil, err
+	}
+	f.res.Evaluations++
+	return f.target.Score(g, rep), rep, nil
+}
+
+func (f *Fuzzer) medianScore() float64 {
+	scores := make([]float64, len(f.pool))
+	for i, m := range f.pool {
+		scores[i] = m.score
+	}
+	sort.Float64s(scores)
+	n := len(scores)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return scores[n/2]
+	}
+	return (scores[n/2-1] + scores[n/2]) / 2
+}
+
+func (f *Fuzzer) record(g Genome, score float64, rep *orchestrator.Report) {
+	if score > f.res.BestScore || f.res.BestGenome == nil {
+		f.res.BestScore = score
+		f.res.BestGenome = g.Clone()
+	}
+	if score >= f.target.Threshold {
+		f.res.Findings = append(f.res.Findings, Finding{Genome: g.Clone(), Score: score, Report: rep})
+	}
+}
+
+// Run executes up to iters mutation rounds (after seeding the pool) and
+// returns the accumulated result. It follows Algorithm 1:
+//
+//	Γ ← initialize a pool of configs
+//	repeat: γ ← random pick; γ* ← mutate(γ); run; Δ ← score
+//	        if Δ ≥ median(Γ): Γ += γ*  else: Γ += γ* with probability p
+//	until anomaly found or timeout
+func (f *Fuzzer) Run(iters int) (*Result, error) {
+	// Initialization.
+	for len(f.pool) < f.opts.PoolSize {
+		g := f.randomGenome()
+		score, rep, err := f.evaluate(g)
+		if err != nil {
+			return nil, err
+		}
+		f.pool = append(f.pool, member{g, score})
+		f.record(g, score, rep)
+		if f.opts.StopAtFirstAnomaly && len(f.res.Findings) > 0 {
+			f.finish()
+			return &f.res, nil
+		}
+	}
+	// Mutation loop.
+	for it := 0; it < iters; it++ {
+		parent := f.pool[f.rng.Intn(len(f.pool))]
+		child := f.mutate(parent.genome)
+		score, rep, err := f.evaluate(child)
+		if err != nil {
+			return nil, err
+		}
+		if score >= f.medianScore() || f.rng.Float64() < f.opts.AcceptProb {
+			f.pool = append(f.pool, member{child, score})
+		}
+		f.record(child, score, rep)
+		if f.opts.StopAtFirstAnomaly && len(f.res.Findings) > 0 {
+			break
+		}
+	}
+	f.finish()
+	return &f.res, nil
+}
+
+func (f *Fuzzer) finish() {
+	sort.SliceStable(f.res.Findings, func(i, j int) bool {
+		return f.res.Findings[i].Score > f.res.Findings[j].Score
+	})
+}
+
+// PoolSize reports the current pool population (diagnostics).
+func (f *Fuzzer) PoolSize() int { return len(f.pool) }
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

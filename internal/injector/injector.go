@@ -1,0 +1,488 @@
+// Package injector implements Lumina's event injector: the programmable
+// switch data plane of Figure 6. Frames arriving on host-facing ports
+// pass through the RoCE classifier, the ITER tracker, the event-injection
+// match-action table, and L2 forwarding; every RoCE packet is also
+// mirrored at ingress — before any drop takes effect, exactly as on the
+// Tofino where mirroring precedes the MMU — with the mirror sequence
+// number, event type, and ingress timestamp embedded in rewritten header
+// fields, then sprayed over the traffic-dumper pool by weighted
+// round-robin with optional RSS-defeating UDP port randomization (§3.3,
+// §3.4).
+package injector
+
+import (
+	"fmt"
+	"net/netip"
+
+	"github.com/lumina-sim/lumina/internal/config"
+	"github.com/lumina-sim/lumina/internal/packet"
+	"github.com/lumina-sim/lumina/internal/sim"
+)
+
+// Rule is one entry of the event-injection match-action table — the
+// low-level form of Figure 2's example: exact match on (source IP,
+// destination IP, destination QPN, PSN, ITER), action an EventType.
+type Rule struct {
+	SrcIP  netip.Addr
+	DstIP  netip.Addr
+	DstQPN uint32
+	PSN    uint32
+	Iter   uint32
+	Action packet.EventType
+
+	// Delay is the added forwarding latency for EventDelay actions.
+	Delay sim.Duration
+	// ReorderOffset is how many later same-connection data packets an
+	// EventReorder action lets overtake the matched packet.
+	ReorderOffset int
+
+	// Hits counts matches (rule diagnostics in the result bundle).
+	Hits int
+}
+
+func (r Rule) key() ruleKey {
+	return ruleKey{r.SrcIP, r.DstIP, r.DstQPN, r.PSN, r.Iter}
+}
+
+type ruleKey struct {
+	srcIP  netip.Addr
+	dstIP  netip.Addr
+	dstQPN uint32
+	psn    uint32
+	iter   uint32
+}
+
+// ConnMeta is the runtime traffic metadata a traffic generator shares
+// with the injector before traffic starts (§3.3): both endpoints'
+// IP/QPN/IPSN. It seeds the ITER tracker so Figure 3's Last_PSN starts
+// at IPSN-1 in both directions. Read responses travel responder →
+// requester but consume requester-side PSNs, so both directions seed
+// from the requester's IPSN.
+type ConnMeta struct {
+	ReqIP    netip.Addr
+	ReqQPN   uint32
+	ReqIPSN  uint32
+	RespIP   netip.Addr
+	RespQPN  uint32
+	RespIPSN uint32
+}
+
+type connKey struct {
+	srcIP  netip.Addr
+	dstIP  netip.Addr
+	dstQPN uint32
+}
+
+// connState is the per-direction ITER tracker (Figure 3).
+type connState struct {
+	lastPSN uint32
+	iter    uint32
+}
+
+// PortCounters are per-port packet counters dumped for integrity checks
+// (§3.5, Table 1).
+type PortCounters struct {
+	RxFrames uint64 `json:"rx_frames"`
+	RxRoCE   uint64 `json:"rx_roce"`
+	TxFrames uint64 `json:"tx_frames"`
+	TxRoCE   uint64 `json:"tx_roce"`
+	Mirrored uint64 `json:"mirrored"`
+	Injected uint64 `json:"injected"`
+	Dropped  uint64 `json:"dropped"` // by drop actions
+}
+
+// Switch is the event injector instance.
+type Switch struct {
+	Sim *sim.Simulator
+	Cfg config.Switch
+
+	hostPorts   []*sim.Port
+	hostMACs    []packet.MAC
+	macTable    map[packet.MAC]int
+	dumperPorts []*sim.Port
+	wrrWeights  []int
+	wrrCurrent  []int
+
+	rules map[ruleKey]*Rule
+	conns map[connKey]*connState
+
+	// reorder buffers: packets held by EventReorder, waiting for later
+	// same-connection data packets to overtake them.
+	held map[connKey][]*heldPkt
+
+	mirrorSeq uint64
+	rng       *sim.RNG
+
+	perPort []PortCounters
+	total   PortCounters
+
+	// ByIngressMirror reproduces the initial two-host dumper design
+	// (§3.4): each ingress port's mirrors go to one fixed dumper instead
+	// of the weighted round-robin spray.
+	ByIngressMirror bool
+	// NoRSSRewrite disables the UDP destination-port randomization,
+	// leaving the dumpers' RSS flow-affine (the ablation of §3.4's
+	// load-balancing design).
+	NoRSSRewrite bool
+}
+
+// New creates a switch with the given data-plane configuration.
+func New(s *sim.Simulator, cfg config.Switch) *Switch {
+	if cfg.PipelineLatencyNs <= 0 {
+		cfg.PipelineLatencyNs = 400
+	}
+	return &Switch{
+		Sim:      s,
+		Cfg:      cfg,
+		macTable: map[packet.MAC]int{},
+		rules:    map[ruleKey]*Rule{},
+		conns:    map[connKey]*connState{},
+		held:     map[connKey][]*heldPkt{},
+		rng:      s.RNG().Fork(),
+	}
+}
+
+// heldPkt is a packet parked by an EventReorder action.
+type heldPkt struct {
+	wire      []byte
+	dst       packet.MAC
+	remaining int // same-connection data packets that must overtake first
+	released  bool
+}
+
+// reorderMaxHold bounds how long a reordered packet may wait for
+// overtaking traffic before it is forcibly released — without it, a
+// reorder on the final packet of a stream would hold it forever.
+const reorderMaxHold = 100 * sim.Microsecond
+
+// AttachHost binds a host-facing port. The MAC populates the L2
+// forwarding table.
+func (sw *Switch) AttachHost(port *sim.Port, mac packet.MAC) int {
+	idx := len(sw.hostPorts)
+	sw.hostPorts = append(sw.hostPorts, port)
+	sw.hostMACs = append(sw.hostMACs, mac)
+	sw.macTable[mac] = idx
+	sw.perPort = append(sw.perPort, PortCounters{})
+	port.SetReceiver(func(wire []byte) { sw.ingress(idx, wire) })
+	return idx
+}
+
+// AttachDumper binds a mirror port with a WRR weight (≥1).
+func (sw *Switch) AttachDumper(port *sim.Port, weight int) {
+	if weight <= 0 {
+		weight = 1
+	}
+	sw.dumperPorts = append(sw.dumperPorts, port)
+	sw.wrrWeights = append(sw.wrrWeights, weight)
+	sw.wrrCurrent = append(sw.wrrCurrent, 0)
+}
+
+// AddConnection seeds the ITER tracker from exchanged traffic metadata.
+func (sw *Switch) AddConnection(m ConnMeta) {
+	seed := func(src, dst netip.Addr, dstQPN, ipsn uint32) {
+		sw.conns[connKey{src, dst, dstQPN}] = &connState{
+			lastPSN: (ipsn - 1) & packet.PSNMask,
+			iter:    1,
+		}
+	}
+	// Requester → responder data (Send/Write/Read requests): requester
+	// PSN space. Responder → requester data (Read responses): also
+	// requester PSN space (responses reuse the request's reserved PSNs).
+	seed(m.ReqIP, m.RespIP, m.RespQPN, m.ReqIPSN)
+	seed(m.RespIP, m.ReqIP, m.ReqQPN, m.ReqIPSN)
+}
+
+// InstallRule adds one match-action entry. Installing a duplicate
+// (srcIP,dstIP,dstQPN,psn,iter) key replaces the action.
+func (sw *Switch) InstallRule(r Rule) {
+	rr := r
+	sw.rules[r.key()] = &rr
+}
+
+// Rules returns the installed rules (diagnostics).
+func (sw *Switch) Rules() []*Rule {
+	out := make([]*Rule, 0, len(sw.rules))
+	for _, r := range sw.rules {
+		out = append(out, r)
+	}
+	return out
+}
+
+// Totals returns the aggregate counters.
+func (sw *Switch) Totals() PortCounters { return sw.total }
+
+// PerPort returns a copy of the per-host-port counters.
+func (sw *Switch) PerPort() []PortCounters {
+	return append([]PortCounters(nil), sw.perPort...)
+}
+
+// MirrorCount returns the number of packets mirrored so far — integrity
+// check condition 2 (§3.5).
+func (sw *Switch) MirrorCount() uint64 { return sw.mirrorSeq }
+
+// ingress is the switch pipeline entry point (Figure 6).
+func (sw *Switch) ingress(portIdx int, wire []byte) {
+	pc := &sw.perPort[portIdx]
+	pc.RxFrames++
+	sw.total.RxFrames++
+
+	var pkt packet.Packet
+	isRoCE := packet.Decode(wire, &pkt) == nil && pkt.IsRoCE()
+
+	if sw.Cfg.L2Only || !isRoCE {
+		// Plain L2 forwarding (baseline mode, and non-RoCE traffic in
+		// Lumina mode skips the RoCE pipeline stages).
+		sw.forward(wire, pkt.Eth.Dst, isRoCE)
+		return
+	}
+
+	pc.RxRoCE++
+	sw.total.RxRoCE++
+
+	// ITER tracking (Figure 3): data packets only — events target data
+	// packets, and ACK/CNP PSNs live in unrelated sequence spaces.
+	ev := packet.EventNone
+	var rule *Rule
+	isData := pkt.BTH.Opcode.IsData()
+	if isData {
+		iter := sw.trackITER(&pkt)
+		if sw.Cfg.Inject {
+			if rule = sw.lookupRule(&pkt, iter); rule != nil {
+				ev = rule.Action
+			}
+		}
+	}
+
+	// Apply the action to the forwarded original.
+	out := wire
+	switch ev {
+	case packet.EventECN:
+		out = append([]byte(nil), wire...)
+		packet.SetECNCE(out)
+	case packet.EventCorrupt:
+		out = append([]byte(nil), wire...)
+		packet.CorruptPayload(out)
+	case packet.EventSetMigReq:
+		out = sw.rewriteMigReq(&pkt)
+	}
+	if ev != packet.EventNone {
+		pc.Injected++
+		sw.total.Injected++
+	}
+
+	// Ingress mirror: duplicates carry the post-injection bytes plus the
+	// embedded metadata, and leave before the drop takes effect.
+	if sw.Cfg.Mirror && len(sw.dumperPorts) > 0 {
+		sw.mirror(out, ev, portIdx)
+	}
+
+	key := connKey{pkt.IP.Src, pkt.IP.Dst, pkt.BTH.DestQP}
+	switch ev {
+	case packet.EventDrop:
+		pc.Dropped++
+		sw.total.Dropped++
+		return
+	case packet.EventDelay:
+		// Quantitative delay (§7 future work): forward after the rule's
+		// extra latency on top of the pipeline.
+		d := sw.dataPlaneLatency(true) + rule.Delay
+		dst := pkt.Eth.Dst
+		sw.Sim.After(d, func() { sw.forwardNow(out, dst, true) })
+		return
+	case packet.EventReorder:
+		// Packet reordering (§7 future work): park the packet until
+		// ReorderOffset later data packets of its connection overtake it
+		// (bounded by reorderMaxHold in case the stream ends).
+		off := rule.ReorderOffset
+		if off <= 0 {
+			off = 1
+		}
+		h := &heldPkt{wire: out, dst: pkt.Eth.Dst, remaining: off}
+		sw.held[key] = append(sw.held[key], h)
+		sw.Sim.After(reorderMaxHold, func() { sw.release(key, h) })
+		return
+	}
+	sw.forward(out, pkt.Eth.Dst, true)
+
+	// Data packets overtake any parked (reordered) predecessors.
+	if isData {
+		sw.overtake(key)
+	}
+}
+
+// overtake credits one overtaking packet to every held packet of the
+// connection and releases those whose quota is spent.
+func (sw *Switch) overtake(key connKey) {
+	holds := sw.held[key]
+	if len(holds) == 0 {
+		return
+	}
+	for _, h := range holds {
+		h.remaining--
+		if h.remaining <= 0 {
+			sw.release(key, h)
+		}
+	}
+}
+
+// release forwards a held packet (idempotent) and compacts the hold list.
+func (sw *Switch) release(key connKey, h *heldPkt) {
+	if h.released {
+		return
+	}
+	h.released = true
+	holds := sw.held[key][:0]
+	for _, x := range sw.held[key] {
+		if x != h {
+			holds = append(holds, x)
+		}
+	}
+	if len(holds) == 0 {
+		delete(sw.held, key)
+	} else {
+		sw.held[key] = holds
+	}
+	sw.forward(h.wire, h.dst, true)
+}
+
+// trackITER implements Figure 3: if the packet's PSN is not larger than
+// Last_PSN, a new (re)transmission round begins.
+func (sw *Switch) trackITER(pkt *packet.Packet) uint32 {
+	key := connKey{pkt.IP.Src, pkt.IP.Dst, pkt.BTH.DestQP}
+	st, ok := sw.conns[key]
+	if !ok {
+		// Unknown connection (no metadata shared): adopt it with the
+		// current packet starting round 1.
+		st = &connState{lastPSN: pkt.BTH.PSN, iter: 1}
+		sw.conns[key] = st
+		return st.iter
+	}
+	if !psnGreater(pkt.BTH.PSN, st.lastPSN) {
+		st.iter++
+	}
+	st.lastPSN = pkt.BTH.PSN
+	return st.iter
+}
+
+func (sw *Switch) lookupRule(pkt *packet.Packet, iter uint32) *Rule {
+	k := ruleKey{pkt.IP.Src, pkt.IP.Dst, pkt.BTH.DestQP, pkt.BTH.PSN, iter}
+	if r, ok := sw.rules[k]; ok {
+		r.Hits++
+		return r
+	}
+	return nil
+}
+
+// rewriteMigReq re-serializes the packet with MigReq forced to 1 — the
+// action Lumina added to confirm the §6.2.3 interop root cause. Unlike
+// ECN marking, MigReq is iCRC-covered, so the packet must be rebuilt.
+func (sw *Switch) rewriteMigReq(pkt *packet.Packet) []byte {
+	q := pkt.Clone()
+	q.BTH.MigReq = true
+	return q.Serialize()
+}
+
+// dataPlaneLatency models the pipeline stages a packet traverses:
+// PipelineLatencyNs is the full Lumina pipeline (parser, ITER tracking,
+// event-injection match-action, L2 forwarding — the prototype's four
+// Tofino stages); packets that skip the injection stages (plain L2 mode,
+// injection disabled, or non-RoCE traffic) only pay the parse+forward
+// fraction. This reproduces Figure 7's 4–7% MCT overhead of the full
+// pipeline over Lumina-ne and plain L2 forwarding.
+func (sw *Switch) dataPlaneLatency(roce bool) sim.Duration {
+	full := sim.Duration(sw.Cfg.PipelineLatencyNs)
+	base := full * 5 / 8
+	if sw.Cfg.L2Only || !sw.Cfg.Inject || !roce {
+		return base
+	}
+	return full
+}
+
+// forward performs L2 forwarding with the stage-dependent latency.
+func (sw *Switch) forward(wire []byte, dst packet.MAC, isRoCE bool) {
+	idx, ok := sw.macTable[dst]
+	if !ok {
+		return // unknown unicast: drop (no flooding in a 2-host testbed)
+	}
+	port := sw.hostPorts[idx]
+	out := wire
+	sw.perPort[idx].TxFrames++
+	sw.total.TxFrames++
+	if isRoCE {
+		sw.perPort[idx].TxRoCE++
+		sw.total.TxRoCE++
+	}
+	sw.Sim.After(sw.dataPlaneLatency(isRoCE), func() {
+		port.Send(out)
+	})
+}
+
+// forwardNow is forward without the pipeline latency (the caller already
+// accounted for it, e.g. delay events).
+func (sw *Switch) forwardNow(wire []byte, dst packet.MAC, isRoCE bool) {
+	idx, ok := sw.macTable[dst]
+	if !ok {
+		return
+	}
+	sw.perPort[idx].TxFrames++
+	sw.total.TxFrames++
+	if isRoCE {
+		sw.perPort[idx].TxRoCE++
+		sw.total.TxRoCE++
+	}
+	sw.hostPorts[idx].Send(wire)
+}
+
+// mirror emits the metadata-stamped duplicate toward the dumper pool.
+func (sw *Switch) mirror(wire []byte, ev packet.EventType, ingress int) {
+	dup := append([]byte(nil), wire...)
+	sw.mirrorSeq++
+	packet.EmbedMirrorMeta(dup, packet.MirrorMeta{
+		Seq:       sw.mirrorSeq,
+		Event:     ev,
+		Timestamp: int64(sw.Sim.Now()),
+	})
+	// Defeat flow-affinity RSS at the dumpers: randomize the UDP
+	// destination port (restored to 4791 by the dumper before writing to
+	// disk).
+	if !sw.NoRSSRewrite {
+		packet.RewriteUDPDstPort(dup, uint16(0xC000+sw.rng.Intn(0x3000)))
+	}
+	var port *sim.Port
+	if sw.ByIngressMirror {
+		port = sw.dumperPorts[ingress%len(sw.dumperPorts)]
+	} else {
+		port = sw.dumperPorts[sw.nextDumper()]
+	}
+	sw.total.Mirrored++
+	sw.Sim.After(sim.Duration(sw.Cfg.PipelineLatencyNs), func() {
+		port.Send(dup)
+	})
+}
+
+// nextDumper runs smooth weighted round-robin over the dumper ports.
+func (sw *Switch) nextDumper() int {
+	if len(sw.dumperPorts) == 1 {
+		return 0
+	}
+	totalW := 0
+	best := 0
+	for i, w := range sw.wrrWeights {
+		sw.wrrCurrent[i] += w
+		totalW += w
+		if sw.wrrCurrent[i] > sw.wrrCurrent[best] {
+			best = i
+		}
+	}
+	sw.wrrCurrent[best] -= totalW
+	return best
+}
+
+// psnGreater reports a > b in the 24-bit circular space.
+func psnGreater(a, b uint32) bool {
+	return a != b && ((b-a)&packet.PSNMask) >= 1<<23
+}
+
+func (sw *Switch) String() string {
+	return fmt.Sprintf("Switch(hosts=%d dumpers=%d rules=%d)", len(sw.hostPorts), len(sw.dumperPorts), len(sw.rules))
+}

@@ -1,0 +1,272 @@
+// Package orchestrator drives a complete Lumina test (§3.1, Figure 1):
+// it builds the simulated testbed from a configuration — two hosts with
+// the NIC models under test connected to the event-injector switch, plus
+// the traffic-dumper pool — performs the setup phases in the paper's
+// order (configure hosts, create QPs, exchange metadata, populate the
+// injector's match-action table, start traffic), and after traffic
+// finishes collects every Table-1 artifact: the reconstructed packet
+// trace with its integrity check, NIC counters, traffic-generator logs,
+// and switch counters.
+package orchestrator
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/netip"
+	"os"
+	"path/filepath"
+
+	"github.com/lumina-sim/lumina/internal/config"
+	"github.com/lumina-sim/lumina/internal/dumper"
+	"github.com/lumina-sim/lumina/internal/injector"
+	"github.com/lumina-sim/lumina/internal/packet"
+	"github.com/lumina-sim/lumina/internal/rnic"
+	"github.com/lumina-sim/lumina/internal/sim"
+	"github.com/lumina-sim/lumina/internal/trace"
+	"github.com/lumina-sim/lumina/internal/traffic"
+)
+
+// Options tune a run beyond the test configuration.
+type Options struct {
+	// Deadline bounds virtual time; a run that has not finished by then
+	// is reported as timed out instead of spinning forever.
+	Deadline sim.Duration
+}
+
+// DefaultOptions allows generous virtual time for timeout-heavy tests.
+func DefaultOptions() Options {
+	return Options{Deadline: 600 * sim.Second}
+}
+
+// DumperStat summarizes one dumper node.
+type DumperStat struct {
+	Node     int    `json:"node"`
+	Rx       uint64 `json:"rx_packets"`
+	Discards uint64 `json:"rx_discards"`
+	Captured uint64 `json:"captured"`
+}
+
+// Report bundles everything the orchestrator collects (Table 1).
+type Report struct {
+	Config  config.Test      `json:"config"`
+	Traffic *traffic.Results `json:"traffic"`
+
+	RequesterCounters map[string]uint64 `json:"requester_counters"`
+	ResponderCounters map[string]uint64 `json:"responder_counters"`
+
+	SwitchTotals  injector.PortCounters   `json:"switch_totals"`
+	SwitchPerPort []injector.PortCounters `json:"switch_per_port"`
+	DumperStats   []DumperStat            `json:"dumper_stats"`
+
+	IntegrityOK     bool   `json:"integrity_ok"`
+	IntegrityDetail string `json:"integrity_detail,omitempty"`
+
+	TimedOut   bool     `json:"timed_out"`
+	DurationNs sim.Time `json:"duration_ns"`
+
+	// Trace is the reconstructed packet trace (not serialized to JSON;
+	// use WriteArtifacts for a pcap).
+	Trace *trace.Trace `json:"-"`
+}
+
+// Testbed is the assembled simulation, exposed so tests and experiment
+// harnesses can inspect components mid-run.
+type Testbed struct {
+	Cfg  config.Test
+	Opts Options
+
+	Sim     *sim.Simulator
+	ReqNIC  *rnic.NIC
+	RespNIC *rnic.NIC
+	Switch  *injector.Switch
+	Pool    *dumper.Pool
+	Pair    *traffic.Pair
+}
+
+// Build assembles the testbed for cfg without starting traffic.
+func Build(cfg config.Test, opts Options) (*Testbed, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Deadline <= 0 {
+		opts.Deadline = DefaultOptions().Deadline
+	}
+	s := sim.New(cfg.Seed)
+
+	reqNIC, err := buildNIC(s, cfg.Requester, "requester", packet.MAC{2, 0, 0, 0, 0, 1})
+	if err != nil {
+		return nil, err
+	}
+	respNIC, err := buildNIC(s, cfg.Responder, "responder", packet.MAC{2, 0, 0, 0, 0, 2})
+	if err != nil {
+		return nil, err
+	}
+
+	sw := injector.New(s, cfg.Switch)
+	sw.NoRSSRewrite = !cfg.Dumpers.RSSPortRewrite
+	sw.ByIngressMirror = !cfg.Dumpers.PerPacketLB
+
+	// Host links run at each NIC's line rate.
+	reqPort, swReq := sim.Connect(s, "req-nic", "sw-req", reqNIC.Prof.LinkGbps, 100)
+	respPort, swResp := sim.Connect(s, "resp-nic", "sw-resp", respNIC.Prof.LinkGbps, 100)
+	reqNIC.AttachPort(reqPort)
+	respNIC.AttachPort(respPort)
+	sw.AttachHost(swReq, reqNIC.MAC)
+	sw.AttachHost(swResp, respNIC.MAC)
+
+	// Dumper pool. In the two-host (no per-packet LB) design only two
+	// nodes are used, one per traffic direction.
+	nNodes := cfg.Dumpers.Nodes
+	if !cfg.Dumpers.PerPacketLB && nNodes > 2 {
+		nNodes = 2
+	}
+	dcfg := dumper.Config{
+		Cores:       cfg.Dumpers.CoresPerNode,
+		PerCoreGbps: cfg.Dumpers.PerCoreGbps,
+		TrimBytes:   cfg.Dumpers.TrimBytes,
+	}
+	pool := dumper.NewPool(s, nNodes, dcfg)
+	for i, node := range pool.Nodes {
+		nodePort, swPort := sim.Connect(s, fmt.Sprintf("dumper-%d", i), fmt.Sprintf("sw-dump-%d", i), cfg.Dumpers.NodeGbps, 100)
+		node.AttachPort(nodePort)
+		w := 1
+		if i < len(cfg.Dumpers.Weights) {
+			w = cfg.Dumpers.Weights[i]
+		}
+		sw.AttachDumper(swPort, w)
+	}
+
+	pair, err := traffic.NewPair(s, reqNIC, respNIC, cfg.Traffic)
+	if err != nil {
+		return nil, err
+	}
+
+	// Control-plane phase (§3.3): the requester shares runtime metadata
+	// with the injector, which combines it with the configured intents
+	// to populate the match-action table — before traffic starts.
+	metas := pair.ConnMetas()
+	for _, m := range metas {
+		sw.AddConnection(m)
+	}
+	if cfg.Switch.Inject {
+		rules, err := injector.TranslateIntents(cfg.Traffic.Events, cfg.Traffic.Verb, metas, cfg.Traffic.PacketsPerQP())
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range rules {
+			sw.InstallRule(r)
+		}
+	}
+
+	return &Testbed{
+		Cfg: cfg, Opts: opts,
+		Sim: s, ReqNIC: reqNIC, RespNIC: respNIC,
+		Switch: sw, Pool: pool, Pair: pair,
+	}, nil
+}
+
+func buildNIC(s *sim.Simulator, h config.Host, name string, mac packet.MAC) (*rnic.NIC, error) {
+	prof, err := rnic.ProfileByName(h.NIC.Type)
+	if err != nil {
+		return nil, err
+	}
+	set := rnic.Settings{
+		DCQCNRPEnable:      h.RoCE.DCQCNRPEnable,
+		DCQCNNPEnable:      h.RoCE.DCQCNNPEnable,
+		MinTimeBetweenCNPs: h.RoCE.MinCNPInterval(),
+		AdaptiveRetrans:    h.RoCE.AdaptiveRetrans,
+		SlowRestart:        h.RoCE.SlowRestart,
+	}
+	var ets rnic.ETSConfig
+	for _, q := range h.ETS {
+		ets.Queues = append(ets.Queues, rnic.ETSQueueConfig{Strict: q.Strict, Weight: q.Weight})
+	}
+	ips := append([]netip.Addr(nil), h.NIC.IPList...)
+	return rnic.New(s, prof, rnic.Config{
+		Name: name, MAC: mac, IPs: ips, ETS: ets, Set: set,
+	}), nil
+}
+
+// Execute runs traffic to completion (or the deadline), collects all
+// results, reconstructs the trace and performs the integrity check.
+func (tb *Testbed) Execute() (*Report, error) {
+	if err := tb.Pair.Start(nil); err != nil {
+		return nil, err
+	}
+	tb.Sim.DrainUntil(sim.Time(tb.Opts.Deadline))
+	timedOut := !tb.Pair.Finished()
+	if !timedOut {
+		// Drain trailing events (mirrors in flight, dumper processing).
+		tb.Sim.Run()
+	}
+
+	// TERM the dumpers and rebuild the trace (§3.4, §3.5).
+	records := tb.Pool.Terminate()
+	tr, err := trace.Reconstruct(records)
+	if err != nil {
+		return nil, fmt.Errorf("orchestrator: trace reconstruction: %w", err)
+	}
+
+	rep := &Report{
+		Config:            tb.Cfg,
+		Traffic:           tb.Pair.Results(),
+		RequesterCounters: tb.ReqNIC.Counters.Snapshot(),
+		ResponderCounters: tb.RespNIC.Counters.Snapshot(),
+		SwitchTotals:      tb.Switch.Totals(),
+		SwitchPerPort:     tb.Switch.PerPort(),
+		TimedOut:          timedOut,
+		DurationNs:        tb.Sim.Now(),
+		Trace:             tr,
+	}
+	for _, n := range tb.Pool.Nodes {
+		rep.DumperStats = append(rep.DumperStats, DumperStat{
+			Node: n.Index, Rx: n.RxPackets, Discards: n.RxDiscards, Captured: n.Captured,
+		})
+	}
+	if tb.Cfg.Switch.Mirror {
+		err := tr.IntegrityCheck(tb.Switch.MirrorCount(), tb.Switch.Totals().RxRoCE)
+		rep.IntegrityOK = err == nil
+		if err != nil {
+			rep.IntegrityDetail = err.Error()
+		}
+	} else {
+		rep.IntegrityOK = true
+		rep.IntegrityDetail = "mirroring disabled; no trace collected"
+	}
+	return rep, nil
+}
+
+// Run builds and executes a test in one call.
+func Run(cfg config.Test, opts Options) (*Report, error) {
+	tb, err := Build(cfg, opts)
+	if err != nil {
+		return nil, err
+	}
+	return tb.Execute()
+}
+
+// WriteArtifacts stores the collected results in dir: report.json,
+// trace.pcap, and the raw counters.
+func (r *Report) WriteArtifacts(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	js, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "report.json"), js, 0o644); err != nil {
+		return err
+	}
+	if r.Trace != nil {
+		f, err := os.Create(filepath.Join(dir, "trace.pcap"))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := r.Trace.WritePcap(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}

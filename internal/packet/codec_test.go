@@ -1,0 +1,327 @@
+package packet
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func addr(s string) netip.Addr { return netip.MustParseAddr(s) }
+
+// samplePacket builds a representative data packet for round-trip tests.
+func samplePacket(op Opcode, payload int) *Packet {
+	p := &Packet{
+		Eth: Ethernet{
+			Dst:       MAC{0x02, 0, 0, 0, 0, 2},
+			Src:       MAC{0x02, 0, 0, 0, 0, 1},
+			EtherType: EtherTypeIPv4,
+		},
+		IP: IPv4{
+			DSCP: 26, ECN: ECNECT0, ID: 7, Flags: 2, TTL: 64,
+			Protocol: ProtoUDP,
+			Src:      addr("10.0.0.1"), Dst: addr("10.0.0.2"),
+		},
+		UDP: UDP{SrcPort: 49152, DstPort: RoCEv2Port},
+		BTH: BTH{
+			Opcode: op, MigReq: true, PKey: 0xFFFF,
+			DestQP: 0xABCDE, PSN: 0x123456, AckReq: op.IsLast() || op.IsOnly(),
+		},
+	}
+	if op.HasRETH() {
+		p.RETH = RETH{VA: 0xDEADBEEF0000, RKey: 0x1234, DMALen: 65536}
+	}
+	if op.HasAETH() {
+		p.AETH = AETH{Syndrome: SyndromeACK | 0x1F, MSN: 42}
+	}
+	if op.HasImm() {
+		p.Imm = 0xCAFEBABE
+	}
+	if op.HasAtomicETH() {
+		p.Atomic = AtomicETH{VA: 0xFEED0000, RKey: 0x77, SwapAdd: 0x1111222233334444, Compare: 0x5555}
+	}
+	if op.HasAtomicAck() {
+		p.AtomicAck = 0x9999AAAABBBBCCCC
+	}
+	if payload > 0 {
+		p.Payload = make([]byte, payload)
+		for i := range p.Payload {
+			p.Payload[i] = byte(i * 7)
+		}
+	}
+	return p
+}
+
+func TestRoundTripAllOpcodes(t *testing.T) {
+	ops := []Opcode{
+		OpSendFirst, OpSendMiddle, OpSendLast, OpSendLastImm, OpSendOnly,
+		OpSendOnlyImm, OpWriteFirst, OpWriteMiddle, OpWriteLast,
+		OpWriteLastImm, OpWriteOnly, OpWriteOnlyImm, OpReadRequest,
+		OpReadResponseFirst, OpReadResponseMiddle, OpReadResponseLast,
+		OpReadResponseOnly, OpAcknowledge, OpAtomicAcknowledge,
+		OpCompareSwap, OpFetchAdd, OpCNP,
+	}
+	for _, op := range ops {
+		payload := 0
+		if op.IsData() && !op.IsReadRequest() {
+			payload = 1024
+		}
+		orig := samplePacket(op, payload)
+		wire := orig.Serialize()
+
+		var got Packet
+		if err := Decode(wire, &got); err != nil {
+			t.Fatalf("%v: decode: %v", op, err)
+		}
+		if got.BTH != orig.BTH {
+			t.Errorf("%v: BTH = %+v, want %+v", op, got.BTH, orig.BTH)
+		}
+		if got.IP.Src != orig.IP.Src || got.IP.Dst != orig.IP.Dst {
+			t.Errorf("%v: IP addrs mismatch", op)
+		}
+		if op.HasRETH() && got.RETH != orig.RETH {
+			t.Errorf("%v: RETH = %+v, want %+v", op, got.RETH, orig.RETH)
+		}
+		if op.HasAETH() && got.AETH != orig.AETH {
+			t.Errorf("%v: AETH = %+v, want %+v", op, got.AETH, orig.AETH)
+		}
+		if op.HasImm() && got.Imm != orig.Imm {
+			t.Errorf("%v: Imm = %#x, want %#x", op, got.Imm, orig.Imm)
+		}
+		if op.HasAtomicETH() && got.Atomic != orig.Atomic {
+			t.Errorf("%v: AtomicETH = %+v, want %+v", op, got.Atomic, orig.Atomic)
+		}
+		if op.HasAtomicAck() && got.AtomicAck != orig.AtomicAck {
+			t.Errorf("%v: AtomicAck = %#x, want %#x", op, got.AtomicAck, orig.AtomicAck)
+		}
+		if !bytes.Equal(got.Payload, orig.Payload) {
+			t.Errorf("%v: payload mismatch (%d vs %d bytes)", op, len(got.Payload), len(orig.Payload))
+		}
+		if err := VerifyICRC(wire); err != nil {
+			t.Errorf("%v: %v", op, err)
+		}
+		if !VerifyIPv4Checksum(wire) {
+			t.Errorf("%v: bad IPv4 header checksum", op)
+		}
+		if len(wire) != orig.WireLen() {
+			t.Errorf("%v: wire len %d != WireLen() %d", op, len(wire), orig.WireLen())
+		}
+	}
+}
+
+func TestPropertyRoundTrip(t *testing.T) {
+	f := func(qp, psn uint32, payLen uint16, se, ackReq, mig bool) bool {
+		p := samplePacket(OpWriteMiddle, int(payLen%2048))
+		p.BTH.DestQP = qp & PSNMask
+		p.BTH.PSN = psn & PSNMask
+		p.BTH.SE, p.BTH.AckReq, p.BTH.MigReq = se, ackReq, mig
+		wire := p.Serialize()
+		var got Packet
+		if err := Decode(wire, &got); err != nil {
+			return false
+		}
+		return got.BTH == p.BTH && bytes.Equal(got.Payload, p.Payload) &&
+			VerifyICRC(wire) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestICRCSurvivesECNMarkAndTTLDecrement(t *testing.T) {
+	p := samplePacket(OpWriteOnly, 256)
+	wire := p.Serialize()
+	SetECNCE(wire)
+	wire[14+8]-- // TTL decrement, as a router would
+	if err := VerifyICRC(wire); err != nil {
+		t.Fatalf("iCRC must be invariant under ECN marking and TTL decrement: %v", err)
+	}
+	var got Packet
+	if err := Decode(wire, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.IP.ECN != ECNCE {
+		t.Fatalf("ECN = %d after SetECNCE, want CE", got.IP.ECN)
+	}
+}
+
+func TestICRCDetectsPayloadCorruption(t *testing.T) {
+	p := samplePacket(OpSendOnly, 512)
+	wire := p.Serialize()
+	if !CorruptPayload(wire) {
+		t.Fatal("CorruptPayload refused a payload-bearing packet")
+	}
+	if err := VerifyICRC(wire); err == nil {
+		t.Fatal("iCRC verification passed on a corrupted packet")
+	}
+}
+
+func TestICRCDetectsHeaderTampering(t *testing.T) {
+	p := samplePacket(OpWriteOnly, 64)
+	wire := p.Serialize()
+	// Flip a PSN bit: invariant field, must break iCRC.
+	wire[42+11] ^= 0x01
+	if err := VerifyICRC(wire); err == nil {
+		t.Fatal("iCRC passed after PSN tampering")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	var p Packet
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"runt", make([]byte, 10)},
+		{"eth only", make([]byte, EthernetSize)},
+	}
+	for _, c := range cases {
+		if err := Decode(c.data, &p); err == nil {
+			t.Errorf("%s: Decode succeeded on invalid input", c.name)
+		}
+	}
+
+	// Non-IPv4 ethertype.
+	w := samplePacket(OpSendOnly, 8).Serialize()
+	w[12], w[13] = 0x86, 0xDD // IPv6
+	if err := Decode(w, &p); err == nil {
+		t.Error("Decode accepted non-IPv4 ethertype")
+	}
+
+	// Non-UDP protocol.
+	w = samplePacket(OpSendOnly, 8).Serialize()
+	w[14+9] = 6 // TCP
+	if err := Decode(w, &p); err == nil {
+		t.Error("Decode accepted non-UDP protocol")
+	}
+
+	// Truncated extended header.
+	w = samplePacket(OpWriteFirst, 128).Serialize()
+	if err := Decode(w[:58], &p); err == nil {
+		t.Error("Decode accepted truncated RETH")
+	}
+}
+
+func TestIsRoCE(t *testing.T) {
+	p := samplePacket(OpWriteOnly, 0)
+	if !p.IsRoCE() {
+		t.Fatal("RoCEv2 packet not recognized")
+	}
+	q := *p
+	q.UDP.DstPort = 53
+	if q.IsRoCE() {
+		t.Fatal("non-4791 packet classified as RoCE")
+	}
+}
+
+func TestOpcodeClassification(t *testing.T) {
+	checks := []struct {
+		op                                  Opcode
+		send, write, readReq, readResp, ack bool
+	}{
+		{OpSendFirst, true, false, false, false, false},
+		{OpSendOnlyImm, true, false, false, false, false},
+		{OpWriteMiddle, false, true, false, false, false},
+		{OpReadRequest, false, false, true, false, false},
+		{OpReadResponseMiddle, false, false, false, true, false},
+		{OpAcknowledge, false, false, false, false, true},
+	}
+	for _, c := range checks {
+		if c.op.IsSend() != c.send || c.op.IsWrite() != c.write ||
+			c.op.IsReadRequest() != c.readReq || c.op.IsReadResponse() != c.readResp ||
+			c.op.IsAck() != c.ack {
+			t.Errorf("%v classification wrong", c.op)
+		}
+	}
+	if !OpCNP.IsCNP() || OpCNP.IsData() {
+		t.Error("CNP classification wrong")
+	}
+	if !OpWriteFirst.IsFirst() || !OpWriteMiddle.IsMiddle() || !OpWriteLast.IsLast() || !OpWriteOnly.IsOnly() {
+		t.Error("first/middle/last/only classification wrong")
+	}
+	if OpAcknowledge.IsData() {
+		t.Error("ACK must not be a data packet (injector only targets data)")
+	}
+	if !OpReadRequest.IsData() {
+		t.Error("READ_REQUEST is a data packet for injection purposes")
+	}
+}
+
+func TestAETHSyndromes(t *testing.T) {
+	if !(AETH{Syndrome: NakPSNSeqError}).IsNak() {
+		t.Error("PSN sequence error not classified as NAK")
+	}
+	if !(AETH{Syndrome: SyndromeRNRNak | 5}).IsRNR() {
+		t.Error("RNR syndrome not classified")
+	}
+	if !(AETH{Syndrome: SyndromeACK | 31}).IsAck() {
+		t.Error("ACK syndrome not classified")
+	}
+	if (AETH{Syndrome: SyndromeACK}).IsNak() {
+		t.Error("ACK classified as NAK")
+	}
+}
+
+func TestPadCountRoundTrip(t *testing.T) {
+	// IB payloads are 4-byte aligned on the wire; PadCount covers the gap.
+	p := samplePacket(OpSendLast, 1022)
+	p.BTH.PadCount = 2
+	wire := p.Serialize()
+	var got Packet
+	if err := Decode(wire, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.BTH.PadCount != 2 {
+		t.Fatalf("PadCount = %d, want 2", got.BTH.PadCount)
+	}
+	if len(got.Payload) != 1022 {
+		t.Fatalf("payload len = %d, want 1022 (pad must be stripped)", len(got.Payload))
+	}
+	if err := VerifyICRC(wire); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClone(t *testing.T) {
+	p := samplePacket(OpWriteOnly, 32)
+	q := p.Clone()
+	q.Payload[0] ^= 0xFF
+	q.BTH.PSN++
+	if p.Payload[0] == q.Payload[0] {
+		t.Fatal("Clone shares payload storage")
+	}
+	if p.BTH.PSN == q.BTH.PSN {
+		t.Fatal("Clone shares header")
+	}
+}
+
+func TestMACUint64RoundTrip(t *testing.T) {
+	f := func(v uint64) bool {
+		v &= metaMask
+		return MACFromUint64(v).Uint64() == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	p := samplePacket(OpWriteOnly, 100)
+	s := p.String()
+	for _, want := range []string{"WRITE_ONLY", "10.0.0.1", "psn=1193046"} {
+		if !contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+	nak := samplePacket(OpAcknowledge, 0)
+	nak.AETH = AETH{Syndrome: NakPSNSeqError, MSN: 3}
+	if !contains(nak.String(), "NAK") {
+		t.Errorf("NAK String() = %q", nak.String())
+	}
+	if Opcode(0x77).String() != "OP_0x77" {
+		t.Errorf("unknown opcode String() = %q", Opcode(0x77).String())
+	}
+}
+
+func contains(s, sub string) bool { return bytes.Contains([]byte(s), []byte(sub)) }

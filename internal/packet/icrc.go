@@ -1,0 +1,50 @@
+package packet
+
+import "hash/crc32"
+
+// ComputeICRC computes the RoCEv2 invariant CRC over a serialized packet
+// (everything up to, but excluding, the trailing 4 iCRC bytes).
+//
+// Per the IBTA RoCEv2 annex, the iCRC is the Ethernet CRC-32 computed
+// over:
+//
+//  1. eight bytes of 0xFF standing in for the (absent) LRH and the
+//     masked fields of a hypothetical GRH — for IPv4 this prefix masks
+//     fields that routers may rewrite;
+//  2. the IPv4 header with Type of Service (DSCP+ECN), TTL and header
+//     checksum masked to 0xFF — these change in flight;
+//  3. the UDP header with the checksum masked to 0xFF;
+//  4. the BTH with the resv8a byte (FECN/BECN) masked to 0xFF;
+//  5. all remaining transport headers, payload and pad bytes verbatim.
+//
+// Masking means the iCRC survives ECN marking and TTL decrement — which
+// is also what lets Lumina's injector mark ECN without recomputing it,
+// and what forces the injector's corruption action to actually break it.
+func ComputeICRC(wire []byte) uint32 {
+	if len(wire) < EthernetSize+IPv4Size+UDPSize+BTHSize {
+		return 0
+	}
+	// Build the masked image. A fixed-size stack prefix plus the
+	// unmodified tail keeps this cheap: only the first 40 bytes after
+	// Ethernet need masking.
+	var head [8 + IPv4Size + UDPSize + BTHSize]byte
+	for i := 0; i < 8; i++ {
+		head[i] = 0xFF
+	}
+	copy(head[8:], wire[EthernetSize:EthernetSize+IPv4Size+UDPSize+BTHSize])
+
+	ip := head[8 : 8+IPv4Size]
+	ip[1] = 0xFF                // TOS (DSCP+ECN)
+	ip[8] = 0xFF                // TTL
+	ip[10], ip[11] = 0xFF, 0xFF // header checksum
+
+	udp := head[8+IPv4Size : 8+IPv4Size+UDPSize]
+	udp[6], udp[7] = 0xFF, 0xFF // UDP checksum
+
+	bth := head[8+IPv4Size+UDPSize:]
+	bth[4] = 0xFF // resv8a (FECN/BECN)
+
+	crc := crc32.Update(0, crc32.IEEETable, head[:])
+	crc = crc32.Update(crc, crc32.IEEETable, wire[EthernetSize+IPv4Size+UDPSize+BTHSize:])
+	return crc
+}

@@ -1,0 +1,128 @@
+package packet
+
+// EventType labels the injected event a mirrored packet experienced
+// (§3.4 "Indicating events"). It travels in the mirrored copy's TTL field.
+type EventType uint8
+
+const (
+	EventNone      EventType = iota
+	EventECN                 // IP.ECN rewritten to Congestion Experienced
+	EventDrop                // the original is discarded after the ingress mirror
+	EventCorrupt             // payload bit flipped; iCRC left stale
+	EventSetMigReq           // BTH.MigReq forced to 1 (§6.2.3 interop debugging aid)
+	EventDelay               // forwarding postponed by a configured duration (§7 future work)
+	EventReorder             // forwarding slipped behind later packets (§7 future work)
+)
+
+var eventNames = [...]string{"none", "ecn", "drop", "corrupt", "set-migreq", "delay", "reorder"}
+
+func (e EventType) String() string {
+	if int(e) < len(eventNames) {
+		return eventNames[e]
+	}
+	return "unknown"
+}
+
+// ParseEventType converts a config string ("drop", "ecn", ...) into an
+// EventType.
+func ParseEventType(s string) (EventType, bool) {
+	for i, n := range eventNames {
+		if n == s {
+			return EventType(i), true
+		}
+	}
+	return EventNone, false
+}
+
+// MirrorMeta is the data-plane metadata the event injector embeds into
+// every mirrored packet (§3.4): a global mirror sequence number for
+// integrity checking, the event type applied to the original, and the
+// nanosecond ingress hardware timestamp. Rather than growing the packet —
+// which would overload the mirror ports' bandwidth — Lumina rewrites
+// header fields not needed for analysis:
+//
+//	TTL               ← event type
+//	source MAC        ← mirror sequence number (48 bits)
+//	destination MAC   ← ingress timestamp, ns (48 bits)
+type MirrorMeta struct {
+	Seq       uint64 // global mirror sequence number (wraps at 2^48)
+	Event     EventType
+	Timestamp int64 // ingress-pipeline hardware timestamp, ns (wraps at 2^48)
+}
+
+// metaMask keeps embedded values within their 48-bit MAC-field homes.
+const metaMask = (1 << 48) - 1
+
+// EmbedMirrorMeta rewrites the header fields of a serialized mirrored
+// packet in place. It must be called on the mirror copy, never the
+// forwarded original.
+func EmbedMirrorMeta(wire []byte, m MirrorMeta) {
+	if len(wire) < EthernetSize+IPv4Size {
+		return
+	}
+	dst := MACFromUint64(uint64(m.Timestamp) & metaMask)
+	src := MACFromUint64(m.Seq & metaMask)
+	copy(wire[0:6], dst[:])
+	copy(wire[6:12], src[:])
+	wire[14+8] = byte(m.Event) // IPv4 TTL
+}
+
+// ExtractMirrorMeta recovers the embedded metadata from a mirrored
+// packet's headers.
+func ExtractMirrorMeta(wire []byte) (MirrorMeta, bool) {
+	if len(wire) < EthernetSize+IPv4Size {
+		return MirrorMeta{}, false
+	}
+	var dst, src MAC
+	copy(dst[:], wire[0:6])
+	copy(src[:], wire[6:12])
+	return MirrorMeta{
+		Seq:       src.Uint64(),
+		Event:     EventType(wire[14+8]),
+		Timestamp: int64(dst.Uint64()),
+	}, true
+}
+
+// RewriteUDPDstPort overwrites the UDP destination port of a serialized
+// packet in place. The injector uses it to randomize mirrored packets'
+// ports so the dumpers' RSS spreads a single QP's packets across all CPU
+// cores (§3.4), and the dumper restores 4791 before writing to disk.
+func RewriteUDPDstPort(wire []byte, port uint16) {
+	if len(wire) < EthernetSize+IPv4Size+UDPSize {
+		return
+	}
+	be.PutUint16(wire[34+2:34+4], port)
+}
+
+// UDPDstPort reads the UDP destination port from a serialized packet.
+func UDPDstPort(wire []byte) uint16 {
+	if len(wire) < EthernetSize+IPv4Size+UDPSize {
+		return 0
+	}
+	return be.Uint16(wire[34+2 : 34+4])
+}
+
+// CorruptPayload flips one bit of the IB payload (or, for header-only
+// packets, the last pre-iCRC byte) without updating the iCRC, emulating
+// the injector's corruption action. Reports whether a bit was flipped.
+func CorruptPayload(wire []byte) bool {
+	if len(wire) < HeaderOverhead+1 {
+		return false
+	}
+	// Flip the lowest bit of the first payload byte (right after BTH and
+	// any extended headers). Flipping the byte just before the iCRC is
+	// always payload/pad for data packets and always safe structurally.
+	idx := len(wire) - ICRCSize - 1
+	wire[idx] ^= 0x01
+	return true
+}
+
+// SetECNCE rewrites the IP ECN field of a serialized packet to
+// Congestion Experienced in place. The iCRC is unaffected by design (the
+// TOS byte is masked from the iCRC computation).
+func SetECNCE(wire []byte) {
+	if len(wire) < EthernetSize+2 {
+		return
+	}
+	wire[14+1] = wire[14+1]&^0x3 | ECNCE
+}

@@ -1,0 +1,413 @@
+package rnic
+
+import (
+	"fmt"
+	"net/netip"
+
+	"github.com/lumina-sim/lumina/internal/packet"
+	"github.com/lumina-sim/lumina/internal/sim"
+)
+
+// Settings are the runtime RoCE parameters from the host configuration
+// (the paper's Listing 1 roce-parameters block).
+type Settings struct {
+	DCQCNRPEnable      bool
+	DCQCNNPEnable      bool
+	MinTimeBetweenCNPs sim.Duration // <0 means "use hardware default"
+	AdaptiveRetrans    bool
+	SlowRestart        bool
+}
+
+// DefaultSettings mirror common production defaults: DCQCN fully on,
+// hardware-default CNP spacing, adaptive retransmission off.
+func DefaultSettings() Settings {
+	return Settings{
+		DCQCNRPEnable:      true,
+		DCQCNNPEnable:      true,
+		MinTimeBetweenCNPs: -1,
+		AdaptiveRetrans:    false,
+		SlowRestart:        true,
+	}
+}
+
+// MR is a registered memory region. Lumina's traffic generators exchange
+// (Addr, RKey) during metadata setup exactly like libibverbs apps.
+type MR struct {
+	Addr   uint64
+	Length int
+	RKey   uint32
+}
+
+// mrState pairs the handle with backing storage. Bulk verbs move
+// synthetic zero payloads (the dumpers trim payloads anyway), but atomic
+// operations need real 64-bit cells to operate on.
+type mrState struct {
+	MR
+	mem map[uint64]uint64 // sparse 8-byte cells keyed by address
+}
+
+// Tap observes packets at the NIC boundary; tests and analyzers attach
+// taps instead of reaching into NIC internals.
+type Tap func(dir TapDir, wire []byte)
+
+// TapDir distinguishes transmit from receive observations.
+type TapDir int
+
+const (
+	TapTx TapDir = iota
+	TapRx
+)
+
+// NIC is one simulated RDMA NIC instance.
+type NIC struct {
+	Sim  *sim.Simulator
+	Prof Profile
+	Set  Settings
+	Name string
+	MAC  packet.MAC
+
+	Counters *Counters
+
+	port *sim.Port
+	ips  []netip.Addr
+	qps  map[uint32]*QP
+	mrs  map[uint32]*mrState
+	rng  *sim.RNG
+
+	sched *etsScheduler
+
+	// DCQCN notification point: next instant a CNP may be emitted, per
+	// rate-limiter scope bucket.
+	cnpNextAllowed map[string]sim.Time
+
+	// Slow-path engine (§6.2.2): occupancy above Prof.SlowPathContexts
+	// wedges the RX pipeline for Prof.WedgeDuration; arriving packets
+	// are discarded while wedged. A cooldown suppresses immediate
+	// re-wedging so the post-watchdog backlog can drain.
+	slowBusy          int
+	wedgedUntil       sim.Time
+	wedgeCooldownTill sim.Time
+
+	// APM engine (§6.2.3): connections (local QPs) whose peers send
+	// MigReq=0 beyond the APM cache capacity have every packet serviced
+	// by a single slow server with a shallow buffer.
+	apmCache   map[uint32]bool // local QPN → in fast cache
+	apmCacheN  int
+	apmQueueN  int
+	apmBusyTil sim.Time
+
+	taps    []Tap
+	nextQPN uint32
+	nextRK  uint32
+}
+
+// Config bundles NIC construction parameters.
+type Config struct {
+	Name string
+	MAC  packet.MAC
+	IPs  []netip.Addr
+	ETS  ETSConfig
+	Set  Settings
+}
+
+// New creates a NIC. The RNG is forked from the simulator's so component
+// construction order does not perturb other components' random streams.
+func New(s *sim.Simulator, prof Profile, cfg Config) *NIC {
+	if len(cfg.IPs) == 0 {
+		panic("rnic: NIC needs at least one IP (GID)")
+	}
+	ets := cfg.ETS
+	if len(ets.Queues) == 0 {
+		ets = DefaultETSConfig()
+	}
+	if err := ets.Validate(); err != nil {
+		panic(err)
+	}
+	n := &NIC{
+		Sim:            s,
+		Prof:           prof,
+		Set:            cfg.Set,
+		Name:           cfg.Name,
+		MAC:            cfg.MAC,
+		Counters:       NewCounters(),
+		ips:            append([]netip.Addr(nil), cfg.IPs...),
+		qps:            map[uint32]*QP{},
+		mrs:            map[uint32]*mrState{},
+		rng:            s.RNG().Fork(),
+		cnpNextAllowed: map[string]sim.Time{},
+		apmCache:       map[uint32]bool{},
+	}
+	n.sched = newETSScheduler(n, ets)
+	return n
+}
+
+// AttachPort binds the NIC to its switch-facing port and installs the RX
+// handler.
+func (n *NIC) AttachPort(p *sim.Port) {
+	n.port = p
+	p.SetReceiver(n.receive)
+}
+
+// IP returns the NIC's primary address.
+func (n *NIC) IP() netip.Addr { return n.ips[0] }
+
+// IPs returns all addresses (multi-GID emulation, §5).
+func (n *NIC) IPs() []netip.Addr { return n.ips }
+
+// AddTap attaches a packet observer.
+func (n *NIC) AddTap(t Tap) { n.taps = append(n.taps, t) }
+
+// RegisterMR registers a memory region of the given length and returns
+// its handle. Addresses are synthetic but unique per NIC.
+func (n *NIC) RegisterMR(length int) MR {
+	n.nextRK++
+	mr := MR{
+		Addr:   uint64(n.nextRK) << 32,
+		Length: length,
+		RKey:   0x1000 + n.nextRK,
+	}
+	n.mrs[mr.RKey] = &mrState{MR: mr, mem: map[uint64]uint64{}}
+	return mr
+}
+
+// lookupMR validates an rkey/address/length triple.
+func (n *NIC) lookupMR(rkey uint32, addr uint64, length int) bool {
+	mr, ok := n.mrs[rkey]
+	if !ok {
+		return false
+	}
+	return addr >= mr.Addr && addr+uint64(length) <= mr.Addr+uint64(mr.Length)
+}
+
+// ReadMR reads the 64-bit cell at addr (zero when never written) — the
+// application-side view of atomic targets.
+func (n *NIC) ReadMR(rkey uint32, addr uint64) (uint64, bool) {
+	mr, ok := n.mrs[rkey]
+	if !ok || !n.lookupMR(rkey, addr, 8) {
+		return 0, false
+	}
+	return mr.mem[addr], true
+}
+
+// WriteMR stores a 64-bit cell (test setup and application
+// initialization of atomic targets).
+func (n *NIC) WriteMR(rkey uint32, addr uint64, v uint64) bool {
+	mr, ok := n.mrs[rkey]
+	if !ok || !n.lookupMR(rkey, addr, 8) {
+		return false
+	}
+	mr.mem[addr] = v
+	return true
+}
+
+// executeAtomic performs the remote atomic on the MR cell, returning the
+// original value.
+func (n *NIC) executeAtomic(op packet.Opcode, rkey uint32, addr uint64, swapAdd, compare uint64) (orig uint64, ok bool) {
+	mr, exists := n.mrs[rkey]
+	if !exists || !n.lookupMR(rkey, addr, 8) {
+		return 0, false
+	}
+	orig = mr.mem[addr]
+	switch op {
+	case packet.OpCompareSwap:
+		if orig == compare {
+			mr.mem[addr] = swapAdd
+		}
+	case packet.OpFetchAdd:
+		mr.mem[addr] = orig + swapAdd
+	default:
+		return 0, false
+	}
+	return orig, true
+}
+
+// transmit pushes scheduler-selected wire bytes onto the port.
+func (n *NIC) transmit(wire []byte, qp *QP) {
+	n.Counters.Inc(CtrTxRoCEPackets)
+	n.Counters.Add(CtrTxRoCEBytes, uint64(len(wire)))
+	for _, t := range n.taps {
+		t(TapTx, wire)
+	}
+	n.port.Send(wire)
+}
+
+// receive is the RX entry point for frames arriving from the switch.
+func (n *NIC) receive(wire []byte) {
+	// The phy/pipeline drop decision happens at arrival: a stalled
+	// pipeline discards frames before any parsing (§6.2.2).
+	if n.stalled() {
+		n.Counters.Inc(CtrRxDiscardsPhy)
+		return
+	}
+	var pkt packet.Packet
+	if err := packet.Decode(wire, &pkt); err != nil || !pkt.IsRoCE() {
+		// Non-RoCE traffic (e.g. the generators' TCP metadata exchange)
+		// is out of scope for the hardware transport.
+		return
+	}
+	n.Counters.Inc(CtrRxRoCEPackets)
+	n.Counters.Add(CtrRxRoCEBytes, uint64(len(wire)))
+	for _, t := range n.taps {
+		t(TapRx, wire)
+	}
+
+	// iCRC check precedes all transport processing.
+	if err := packet.VerifyICRC(wire); err != nil {
+		n.Counters.Inc(CtrICRCErrors)
+		return
+	}
+
+	// APM slow path (§6.2.3): data packets carrying MigReq=0 on strict
+	// receivers may detour or be discarded.
+	if n.Prof.StrictAPM && !pkt.BTH.MigReq && pkt.BTH.Opcode.IsData() {
+		if !n.apmAdmit(&pkt) {
+			n.Counters.Inc(CtrRxDiscardsPhy)
+			return
+		}
+		// apmAdmit schedules delayed delivery itself when queued.
+		if n.apmQueued(&pkt) {
+			return
+		}
+	}
+
+	n.Sim.After(n.Prof.PipelineDelay, func() { n.dispatch(&pkt) })
+}
+
+// dispatch routes a parsed packet to congestion processing and its QP.
+func (n *NIC) dispatch(pkt *packet.Packet) {
+	// DCQCN notification point: CE-marked data packets may elicit CNPs.
+	if pkt.IP.ECN == packet.ECNCE && pkt.BTH.Opcode.IsData() {
+		n.Counters.Inc(CtrNpEcnMarked)
+		n.maybeSendCNP(pkt)
+	}
+
+	if pkt.BTH.Opcode.IsCNP() {
+		n.Counters.Inc(CtrRpCnpHandled)
+		if qp, ok := n.qps[pkt.BTH.DestQP]; ok && n.Set.DCQCNRPEnable && qp.rp != nil {
+			qp.rp.onCNP()
+		}
+		return
+	}
+
+	qp, ok := n.qps[pkt.BTH.DestQP]
+	if !ok {
+		return // packet for a torn-down or foreign QP
+	}
+	qp.handlePacket(pkt)
+}
+
+// maybeSendCNP applies the scope-keyed rate limiter and emits a CNP
+// toward the data sender when allowed.
+func (n *NIC) maybeSendCNP(pkt *packet.Packet) {
+	if !n.Set.DCQCNNPEnable {
+		return
+	}
+	qp, ok := n.qps[pkt.BTH.DestQP]
+	if !ok || !qp.connected {
+		return
+	}
+	key := n.cnpScopeKey(pkt.IP.Src.String(), qp.remote.QPN)
+	now := n.Sim.Now()
+	if next, busy := n.cnpNextAllowed[key]; busy && now < next {
+		return // coalesced away by the rate limiter
+	}
+	n.cnpNextAllowed[key] = now.Add(n.minCNPInterval())
+	if !n.Prof.BugCNPSentStuck {
+		n.Counters.Inc(CtrNpCnpSent)
+	}
+	cnp := &packet.Packet{
+		Eth: packet.Ethernet{Dst: qp.remote.MAC, Src: n.MAC, EtherType: packet.EtherTypeIPv4},
+		IP: packet.IPv4{
+			DSCP: 48, ECN: packet.ECNNotECT, TTL: 64, Protocol: packet.ProtoUDP,
+			Src: qp.srcIP(), Dst: qp.remote.IP,
+		},
+		UDP: packet.UDP{SrcPort: qp.udpSrcPort, DstPort: packet.RoCEv2Port},
+		BTH: packet.BTH{Opcode: packet.OpCNP, BECN: true, MigReq: n.Prof.MigReqInit, DestQP: qp.remote.QPN},
+	}
+	// CNPs bypass pacing: they are tiny control packets emitted by the
+	// congestion engine, not the WQE scheduler.
+	n.Sim.After(200, func() { n.transmit(cnp.Serialize(), qp) })
+}
+
+// --- slow-path engine (noisy neighbor, §6.2.2) ---
+
+func (n *NIC) stalled() bool {
+	return n.Sim.Now() < n.wedgedUntil
+}
+
+// slowPathEnter occupies a slow-path context for d. The instant
+// occupancy exceeds the context pool the whole RX pipeline wedges for
+// WedgeDuration (arrivals discarded) unless a previous wedge's cooldown
+// is still active — modelling the watchdog-recovered pipeline hang
+// behind §6.2.2's multi-hundred-millisecond innocent-flow timeouts.
+func (n *NIC) slowPathEnter(d sim.Duration) {
+	if n.Prof.SlowPathContexts <= 0 {
+		return
+	}
+	n.slowBusy++
+	n.Sim.After(d, func() { n.slowBusy-- })
+	now := n.Sim.Now()
+	if n.slowBusy > n.Prof.SlowPathContexts && now >= n.wedgeCooldownTill {
+		n.wedgedUntil = now.Add(n.Prof.WedgeDuration)
+		n.wedgeCooldownTill = n.wedgedUntil.Add(n.Prof.WedgeCooldown)
+	}
+}
+
+// --- APM engine (interoperability, §6.2.3) ---
+
+// apmAdmit decides the fate of a MigReq=0 data packet: fast path (cached
+// connection), queued slow path, or discard on overflow. It reports
+// false for discard.
+func (n *NIC) apmAdmit(pkt *packet.Packet) bool {
+	qpn := pkt.BTH.DestQP
+	if n.apmCache[qpn] {
+		return true // fast path: connection holds an APM cache slot
+	}
+	if n.apmCacheN < apmCacheCapacity {
+		n.apmCache[qpn] = true
+		n.apmCacheN++
+		return true
+	}
+	// Over-capacity connection: every packet takes the serialized slow
+	// path. Shallow buffer; overflow discards.
+	if n.apmQueueN >= apmSlowBuffer {
+		return false
+	}
+	n.apmQueueN++
+	now := n.Sim.Now()
+	start := now
+	if n.apmBusyTil > start {
+		start = n.apmBusyTil
+	}
+	done := start.Add(n.Prof.APMServiceTime)
+	n.apmBusyTil = done
+	n.Counters.Inc(CtrApmProcessed)
+	p := *pkt
+	if p.Payload != nil {
+		p.Payload = append([]byte(nil), p.Payload...)
+	}
+	n.Sim.At(done, func() {
+		n.apmQueueN--
+		n.dispatch(&p)
+	})
+	return true
+}
+
+// apmQueued reports whether the packet was deferred to the slow path
+// (and will be dispatched later by apmAdmit's completion event).
+func (n *NIC) apmQueued(pkt *packet.Packet) bool {
+	return !n.apmCache[pkt.BTH.DestQP]
+}
+
+// APM model constants: the fast-connection cache holds this many
+// MigReq=0 peers; beyond it, packets funnel through a single slow server
+// with a shallow buffer. Capacity 12 places the failure onset between 8
+// and 16 concurrent QPs, matching §6.2.3's observation.
+const (
+	apmCacheCapacity = 12
+	apmSlowBuffer    = 64
+)
+
+func (n *NIC) String() string {
+	return fmt.Sprintf("NIC(%s %s %s)", n.Name, n.Prof.Name, n.ips[0])
+}

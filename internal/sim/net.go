@@ -1,0 +1,134 @@
+package sim
+
+import "fmt"
+
+// Port is one end of a full-duplex Link. A component sends raw frames
+// (serialized packet bytes) out of its ports; the link models store-and-
+// forward serialization delay, FIFO output queueing, and propagation
+// delay, then hands the frame to the peer port's receive handler.
+type Port struct {
+	Name string
+
+	sim  *Simulator
+	link *Link
+	peer *Port
+	recv func(data []byte)
+
+	// txFreeAt is the instant the transmitter finishes serializing the
+	// last queued frame; it implements an infinite FIFO output queue.
+	txFreeAt Time
+
+	// Gauges and counters, exported for integrity checks (§3.5).
+	TxFrames   uint64
+	TxBytes    uint64
+	RxFrames   uint64
+	RxBytes    uint64
+	QueueBytes int64 // bytes currently waiting for or in serialization
+	MaxQueue   int64
+}
+
+// SetReceiver installs the function invoked for every frame arriving at
+// this port. It must be set before any peer transmits.
+func (p *Port) SetReceiver(fn func(data []byte)) { p.recv = fn }
+
+// Connected reports whether the port is attached to a link.
+func (p *Port) Connected() bool { return p.link != nil }
+
+// Peer returns the port on the other end of the link, or nil.
+func (p *Port) Peer() *Port { return p.peer }
+
+// Send queues a frame for transmission. The frame is delivered to the
+// peer after serialization (len/bandwidth, FIFO behind earlier frames)
+// plus propagation delay. Send never blocks; queueing is unbounded, as in
+// the paper's testbed the switch MMU is the only loss point and losses
+// there are modelled explicitly by the injector.
+func (p *Port) Send(data []byte) {
+	if p.link == nil {
+		panic(fmt.Sprintf("sim: send on disconnected port %q", p.Name))
+	}
+	s := p.sim
+	now := s.Now()
+	start := now
+	if p.txFreeAt > start {
+		start = p.txFreeAt
+	}
+	ser := p.link.SerializationDelay(len(data))
+	done := start.Add(ser)
+	p.txFreeAt = done
+
+	p.TxFrames++
+	p.TxBytes += uint64(len(data))
+	p.QueueBytes += int64(len(data))
+	if p.QueueBytes > p.MaxQueue {
+		p.MaxQueue = p.QueueBytes
+	}
+
+	peer := p.peer
+	arrive := done.Add(p.link.Propagation)
+	s.At(done, func() { p.QueueBytes -= int64(len(data)) })
+	s.At(arrive, func() {
+		peer.RxFrames++
+		peer.RxBytes += uint64(len(data))
+		if peer.recv == nil {
+			panic(fmt.Sprintf("sim: frame arrived at port %q with no receiver", peer.Name))
+		}
+		peer.recv(data)
+	})
+}
+
+// TxBacklog returns how long the transmitter is already committed beyond
+// the current instant — i.e. the queueing delay a frame sent now would
+// experience before its own serialization starts.
+func (p *Port) TxBacklog() Duration {
+	if p.txFreeAt <= p.sim.Now() {
+		return 0
+	}
+	return p.txFreeAt.Sub(p.sim.Now())
+}
+
+// Link is a full-duplex point-to-point link between two ports.
+type Link struct {
+	// GbpsRate is the line rate in gigabits per second (e.g. 100 for the
+	// CX5/CX6/E810 testbeds, 40 for CX4 Lx).
+	GbpsRate float64
+	// Propagation is the one-way signal propagation delay.
+	Propagation Duration
+
+	A, B *Port
+}
+
+// Connect creates a link between two fresh ports with the given line rate
+// and propagation delay, returning both ports. The caller installs
+// receivers and keeps the *Port handles.
+func Connect(s *Simulator, nameA, nameB string, gbps float64, prop Duration) (*Port, *Port) {
+	if gbps <= 0 {
+		panic("sim: link rate must be positive")
+	}
+	l := &Link{GbpsRate: gbps, Propagation: prop}
+	a := &Port{Name: nameA, sim: s, link: l}
+	b := &Port{Name: nameB, sim: s, link: l}
+	a.peer, b.peer = b, a
+	l.A, l.B = a, b
+	return a, b
+}
+
+// SerializationDelay returns the time to clock n bytes onto the wire.
+func (l *Link) SerializationDelay(n int) Duration {
+	bits := float64(n) * 8
+	ns := bits / l.GbpsRate // Gbps == bits per nanosecond
+	d := Duration(ns)
+	if d < 1 && n > 0 {
+		d = 1
+	}
+	return d
+}
+
+// TransferTime returns the serialization delay for n bytes at gbps line
+// rate — a convenience used by rate-based schedulers that pace packets
+// below the physical line rate.
+func TransferTime(n int, gbps float64) Duration {
+	if gbps <= 0 {
+		panic("sim: non-positive rate")
+	}
+	return Duration(float64(n) * 8 / gbps)
+}

@@ -1,0 +1,310 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func pipe(t *testing.T, s *Simulator, gbps float64, prop Duration) (*Port, *Port, *[][]byte) {
+	t.Helper()
+	a, b := Connect(s, "a", "b", gbps, prop)
+	var rx [][]byte
+	b.SetReceiver(func(data []byte) { rx = append(rx, data) })
+	a.SetReceiver(func(data []byte) {})
+	return a, b, &rx
+}
+
+func TestLinkDeliversFrames(t *testing.T) {
+	s := New(1)
+	a, _, rx := pipe(t, s, 100, 0)
+	a.Send([]byte("hello"))
+	s.Run()
+	if len(*rx) != 1 || string((*rx)[0]) != "hello" {
+		t.Fatalf("rx = %q", *rx)
+	}
+}
+
+func TestSerializationDelayAtLineRate(t *testing.T) {
+	// 1250 bytes at 100 Gbps = 10000 bits / 100 bits-per-ns = 100 ns.
+	s := New(1)
+	a, b := Connect(s, "a", "b", 100, 0)
+	var at Time
+	b.SetReceiver(func([]byte) { at = s.Now() })
+	a.Send(make([]byte, 1250))
+	s.Run()
+	if at != 100 {
+		t.Fatalf("frame arrived at %v, want 100ns", at)
+	}
+}
+
+func TestPropagationDelayAdds(t *testing.T) {
+	s := New(1)
+	a, b := Connect(s, "a", "b", 100, 500)
+	var at Time
+	b.SetReceiver(func([]byte) { at = s.Now() })
+	a.Send(make([]byte, 1250)) // 100ns serialization
+	s.Run()
+	if at != 600 {
+		t.Fatalf("frame arrived at %v, want 600ns", at)
+	}
+}
+
+func TestFIFOQueueingBackToBack(t *testing.T) {
+	// Two frames sent at t=0 serialize back to back: second arrives one
+	// serialization time after the first.
+	s := New(1)
+	a, b := Connect(s, "a", "b", 100, 0)
+	var arrivals []Time
+	b.SetReceiver(func([]byte) { arrivals = append(arrivals, s.Now()) })
+	a.Send(make([]byte, 1250))
+	a.Send(make([]byte, 1250))
+	s.Run()
+	if len(arrivals) != 2 || arrivals[0] != 100 || arrivals[1] != 200 {
+		t.Fatalf("arrivals = %v, want [100 200]", arrivals)
+	}
+}
+
+func TestFramesArriveInOrder(t *testing.T) {
+	s := New(1)
+	a, _, rx := pipe(t, s, 40, 100)
+	for i := 0; i < 20; i++ {
+		a.Send([]byte{byte(i)})
+	}
+	s.Run()
+	if len(*rx) != 20 {
+		t.Fatalf("received %d frames, want 20", len(*rx))
+	}
+	for i, f := range *rx {
+		if f[0] != byte(i) {
+			t.Fatalf("frame %d carries %d: reordering on a FIFO link", i, f[0])
+		}
+	}
+}
+
+func TestFullDuplexIndependence(t *testing.T) {
+	// Traffic A→B must not delay traffic B→A.
+	s := New(1)
+	a, b := Connect(s, "a", "b", 100, 0)
+	var aAt, bAt Time
+	a.SetReceiver(func([]byte) { aAt = s.Now() })
+	b.SetReceiver(func([]byte) { bAt = s.Now() })
+	a.Send(make([]byte, 12500)) // 1000 ns
+	b.Send(make([]byte, 1250))  // 100 ns
+	s.Run()
+	if bAt != 1000 {
+		t.Fatalf("a->b frame arrived at %v, want 1000", bAt)
+	}
+	if aAt != 100 {
+		t.Fatalf("b->a frame arrived at %v, want 100 (duplex directions must be independent)", aAt)
+	}
+}
+
+func TestPortCounters(t *testing.T) {
+	s := New(1)
+	a, b, _ := pipe(t, s, 100, 0)
+	a.Send(make([]byte, 100))
+	a.Send(make([]byte, 200))
+	s.Run()
+	if a.TxFrames != 2 || a.TxBytes != 300 {
+		t.Fatalf("tx counters = %d frames / %d bytes", a.TxFrames, a.TxBytes)
+	}
+	if b.RxFrames != 2 || b.RxBytes != 300 {
+		t.Fatalf("rx counters = %d frames / %d bytes", b.RxFrames, b.RxBytes)
+	}
+}
+
+func TestQueueGaugeReturnsToZero(t *testing.T) {
+	s := New(1)
+	a, _, _ := pipe(t, s, 100, 0)
+	for i := 0; i < 10; i++ {
+		a.Send(make([]byte, 1250))
+	}
+	if a.QueueBytes != 12500 {
+		t.Fatalf("QueueBytes = %d immediately after sends, want 12500", a.QueueBytes)
+	}
+	s.Run()
+	if a.QueueBytes != 0 {
+		t.Fatalf("QueueBytes = %d after drain, want 0", a.QueueBytes)
+	}
+	if a.MaxQueue != 12500 {
+		t.Fatalf("MaxQueue = %d, want 12500", a.MaxQueue)
+	}
+}
+
+func TestTxBacklog(t *testing.T) {
+	s := New(1)
+	a, _, _ := pipe(t, s, 100, 0)
+	if a.TxBacklog() != 0 {
+		t.Fatal("fresh port reports nonzero backlog")
+	}
+	a.Send(make([]byte, 12500)) // 1000 ns serialization
+	if got := a.TxBacklog(); got != 1000 {
+		t.Fatalf("TxBacklog = %v, want 1000ns", got)
+	}
+}
+
+func TestSendOnDisconnectedPortPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("send on disconnected port did not panic")
+		}
+	}()
+	p := &Port{Name: "floating", sim: New(1)}
+	p.Send([]byte{1})
+}
+
+func TestMissingReceiverPanics(t *testing.T) {
+	s := New(1)
+	a, _ := Connect(s, "a", "b", 100, 0)
+	a.Send([]byte{1})
+	defer func() {
+		if recover() == nil {
+			t.Error("delivery to a port with no receiver did not panic")
+		}
+	}()
+	s.Run()
+}
+
+func TestTransferTime(t *testing.T) {
+	if got := TransferTime(1250, 100); got != 100 {
+		t.Fatalf("TransferTime(1250B, 100Gbps) = %v, want 100ns", got)
+	}
+	if got := TransferTime(1250, 10); got != 1000 {
+		t.Fatalf("TransferTime(1250B, 10Gbps) = %v, want 1000ns", got)
+	}
+}
+
+func TestLinkRateMustBePositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Connect with zero rate did not panic")
+		}
+	}()
+	Connect(New(1), "a", "b", 0, 0)
+}
+
+// Property: total arrival time of n back-to-back frames equals
+// n*serialization + propagation (conservation of link capacity).
+func TestPropertyBackToBackThroughput(t *testing.T) {
+	f := func(nFrames uint8, size uint16) bool {
+		n := int(nFrames%32) + 1
+		sz := int(size%1400) + 100
+		s := New(7)
+		a, b := Connect(s, "a", "b", 100, 50)
+		var last Time
+		got := 0
+		b.SetReceiver(func([]byte) { last = s.Now(); got++ })
+		for i := 0; i < n; i++ {
+			a.Send(make([]byte, sz))
+		}
+		s.Run()
+		ser := a.link.SerializationDelay(sz)
+		want := Time(int64(n)*int64(ser)) + 50
+		return got == n && last == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: RNG determinism and range bounds.
+func TestPropertyRNG(t *testing.T) {
+	f := func(seed int64, n uint16) bool {
+		m := int(n%1000) + 1
+		r1, r2 := NewRNG(seed), NewRNG(seed)
+		for i := 0; i < 50; i++ {
+			v1, v2 := r1.Intn(m), r2.Intn(m)
+			if v1 != v2 || v1 < 0 || v1 >= m {
+				return false
+			}
+			f1, f2 := r1.Float64(), r2.Float64()
+			if f1 != f2 || f1 < 0 || f1 >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	r := NewRNG(123)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("Perm produced invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRNGForkIndependence(t *testing.T) {
+	r := NewRNG(5)
+	f1 := r.Fork()
+	// Drawing from the fork must not perturb the parent relative to a
+	// parent that forked but never used the fork.
+	r2 := NewRNG(5)
+	f2 := r2.Fork()
+	_ = f2
+	for i := 0; i < 10; i++ {
+		f1.Uint64()
+	}
+	for i := 0; i < 10; i++ {
+		if r.Uint64() != r2.Uint64() {
+			t.Fatal("draws from a fork perturbed the parent stream")
+		}
+	}
+}
+
+func TestPortConnectivityAccessors(t *testing.T) {
+	s := New(1)
+	a, b := Connect(s, "a", "b", 10, 0)
+	if !a.Connected() || !b.Connected() {
+		t.Fatal("connected ports report disconnected")
+	}
+	if a.Peer() != b || b.Peer() != a {
+		t.Fatal("peer links wrong")
+	}
+	var floating Port
+	if floating.Connected() || floating.Peer() != nil {
+		t.Fatal("floating port reports connectivity")
+	}
+}
+
+func TestRNGAuxiliaryMethods(t *testing.T) {
+	r := NewRNG(9)
+	for i := 0; i < 100; i++ {
+		if v := r.Int63n(1000); v < 0 || v >= 1000 {
+			t.Fatalf("Int63n out of range: %d", v)
+		}
+		_ = r.Uint32()
+	}
+	vals := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	orig := append([]int(nil), vals...)
+	r.Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+	seen := map[int]bool{}
+	for _, v := range vals {
+		seen[v] = true
+	}
+	if len(seen) != len(orig) {
+		t.Fatalf("shuffle lost elements: %v", vals)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Int63n(0) did not panic")
+		}
+	}()
+	r.Int63n(0)
+}
+
+func TestTransferTimePanicsOnBadRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("TransferTime with zero rate did not panic")
+		}
+	}()
+	TransferTime(100, 0)
+}

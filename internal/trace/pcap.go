@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Classic pcap constants. We write the nanosecond-resolution variant
+// (magic 0xA1B23C4D) because the injector's timestamps are nanoseconds.
+const (
+	pcapMagicNs    = 0xA1B23C4D
+	pcapMagicMicro = 0xA1B2C3D4
+	pcapVersionMaj = 2
+	pcapVersionMin = 4
+	linkTypeEther  = 1
+)
+
+// WritePcap serializes the trace as a classic pcap capture. Each
+// record's timestamp is the switch ingress timestamp; captured length is
+// the trimmed length, original length the wire length.
+func (t *Trace) WritePcap(w io.Writer) error {
+	le := binary.LittleEndian
+	hdr := make([]byte, 24)
+	le.PutUint32(hdr[0:4], pcapMagicNs)
+	le.PutUint16(hdr[4:6], pcapVersionMaj)
+	le.PutUint16(hdr[6:8], pcapVersionMin)
+	// thiszone, sigfigs zero.
+	le.PutUint32(hdr[16:20], 65535) // snaplen
+	le.PutUint32(hdr[20:24], linkTypeEther)
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	rec := make([]byte, 16)
+	for i := range t.Entries {
+		e := &t.Entries[i]
+		ts := e.Meta.Timestamp
+		le.PutUint32(rec[0:4], uint32(ts/1e9))
+		le.PutUint32(rec[4:8], uint32(ts%1e9))
+		le.PutUint32(rec[8:12], uint32(len(e.Wire)))
+		le.PutUint32(rec[12:16], uint32(e.OrigLen))
+		if _, err := w.Write(rec); err != nil {
+			return err
+		}
+		if _, err := w.Write(e.Wire); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PcapPacket is one record read back from a pcap file.
+type PcapPacket struct {
+	TimestampNs int64
+	OrigLen     int
+	Data        []byte
+}
+
+// ReadPcap parses a classic pcap capture (both µs and ns magic, little
+// endian — the variant WritePcap produces, plus the common tcpdump
+// output for interoperability).
+func ReadPcap(r io.Reader) ([]PcapPacket, error) {
+	hdr := make([]byte, 24)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, fmt.Errorf("trace: pcap header: %w", err)
+	}
+	le := binary.LittleEndian
+	magic := le.Uint32(hdr[0:4])
+	var nsScale int64
+	switch magic {
+	case pcapMagicNs:
+		nsScale = 1
+	case pcapMagicMicro:
+		nsScale = 1000
+	default:
+		return nil, fmt.Errorf("trace: unsupported pcap magic %#x", magic)
+	}
+	var out []PcapPacket
+	rec := make([]byte, 16)
+	for {
+		if _, err := io.ReadFull(r, rec); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return nil, fmt.Errorf("trace: pcap record header: %w", err)
+		}
+		sec := int64(le.Uint32(rec[0:4]))
+		frac := int64(le.Uint32(rec[4:8]))
+		incl := le.Uint32(rec[8:12])
+		orig := le.Uint32(rec[12:16])
+		if incl > 1<<20 {
+			return nil, fmt.Errorf("trace: implausible pcap record length %d", incl)
+		}
+		data := make([]byte, incl)
+		if _, err := io.ReadFull(r, data); err != nil {
+			return nil, fmt.Errorf("trace: pcap record body: %w", err)
+		}
+		out = append(out, PcapPacket{
+			TimestampNs: sec*1e9 + frac*nsScale,
+			OrigLen:     int(orig),
+			Data:        data,
+		})
+	}
+}

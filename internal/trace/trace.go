@@ -1,0 +1,221 @@
+// Package trace reconstructs complete packet traces from the trimmed
+// records captured by the traffic-dumper pool, runs the three-condition
+// integrity check of §3.5, and reads/writes classic pcap files so traces
+// can be inspected with standard tools.
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/lumina-sim/lumina/internal/dumper"
+	"github.com/lumina-sim/lumina/internal/packet"
+	"github.com/lumina-sim/lumina/internal/sim"
+)
+
+// Entry is one packet of a reconstructed trace.
+type Entry struct {
+	// Meta is the data-plane metadata the injector embedded: mirror
+	// sequence number, event type, and the nanosecond ingress timestamp
+	// that every analyzer's latency math builds on.
+	Meta packet.MirrorMeta
+	// Pkt holds the parsed headers (payload absent: dumpers trim).
+	Pkt packet.Packet
+	// OrigLen is the packet's untrimmed wire length.
+	OrigLen int
+	// Wire is the captured (trimmed) bytes.
+	Wire []byte
+	// Node/Core locate the capturing dumper.
+	Node, Core int
+}
+
+// Time returns the switch ingress timestamp as a simulation instant.
+func (e *Entry) Time() sim.Time { return sim.Time(e.Meta.Timestamp) }
+
+// Trace is a reconstructed, sequence-ordered packet trace.
+type Trace struct {
+	Entries []Entry
+}
+
+// Reconstruct decodes dumper records and sorts them by mirror sequence
+// number — the orchestrator's trace-assembly step (§3.5). Records whose
+// headers cannot be parsed are rejected (the dumpers only capture RoCE
+// mirrors, so any such record indicates corruption of the capture path
+// itself).
+func Reconstruct(recs []dumper.Record) (*Trace, error) {
+	tr := &Trace{Entries: make([]Entry, 0, len(recs))}
+	for i, r := range recs {
+		meta, ok := packet.ExtractMirrorMeta(r.Wire)
+		if !ok {
+			return nil, fmt.Errorf("trace: record %d too short for mirror metadata", i)
+		}
+		var pkt packet.Packet
+		origLen, err := packet.DecodeHeaders(r.Wire, &pkt)
+		if err != nil {
+			return nil, fmt.Errorf("trace: record %d: %v", i, err)
+		}
+		tr.Entries = append(tr.Entries, Entry{
+			Meta: meta, Pkt: pkt, OrigLen: origLen, Wire: r.Wire,
+			Node: r.Node, Core: r.Core,
+		})
+	}
+	sort.SliceStable(tr.Entries, func(i, j int) bool {
+		return tr.Entries[i].Meta.Seq < tr.Entries[j].Meta.Seq
+	})
+	return tr, nil
+}
+
+// IntegrityError describes a failed integrity condition.
+type IntegrityError struct {
+	Condition int
+	Detail    string
+}
+
+func (e *IntegrityError) Error() string {
+	return fmt.Sprintf("trace: integrity condition %d failed: %s", e.Condition, e.Detail)
+}
+
+// IntegrityCheck verifies the §3.5 conditions:
+//
+//  1. mirror sequence numbers in the trace are consecutive;
+//  2. the injector's mirrored-packet count equals the trace length;
+//  3. the injector's received-RoCE count equals the trace length.
+//
+// Only when all three hold is the trace complete and analyzable.
+func (t *Trace) IntegrityCheck(mirrored, rxRoCE uint64) error {
+	for i := 1; i < len(t.Entries); i++ {
+		prev, cur := t.Entries[i-1].Meta.Seq, t.Entries[i].Meta.Seq
+		if cur != prev+1 {
+			return &IntegrityError{1, fmt.Sprintf("gap between mirror seq %d and %d", prev, cur)}
+		}
+	}
+	if uint64(len(t.Entries)) != mirrored {
+		return &IntegrityError{2, fmt.Sprintf("injector mirrored %d packets, trace holds %d", mirrored, len(t.Entries))}
+	}
+	if uint64(len(t.Entries)) != rxRoCE {
+		return &IntegrityError{3, fmt.Sprintf("injector received %d RoCE packets, trace holds %d", rxRoCE, len(t.Entries))}
+	}
+	return nil
+}
+
+// ConnKey identifies one direction of one connection in the trace.
+type ConnKey struct {
+	Src, Dst string // IP addresses, string form for map keys
+	DstQPN   uint32
+}
+
+// Key returns the entry's connection-direction key.
+func (e *Entry) Key() ConnKey {
+	return ConnKey{Src: e.Pkt.IP.Src.String(), Dst: e.Pkt.IP.Dst.String(), DstQPN: e.Pkt.BTH.DestQP}
+}
+
+// Filter returns the entries satisfying keep, preserving order.
+func (t *Trace) Filter(keep func(*Entry) bool) []*Entry {
+	var out []*Entry
+	for i := range t.Entries {
+		if keep(&t.Entries[i]) {
+			out = append(out, &t.Entries[i])
+		}
+	}
+	return out
+}
+
+// DataPackets returns the entries carrying data opcodes.
+func (t *Trace) DataPackets() []*Entry {
+	return t.Filter(func(e *Entry) bool { return e.Pkt.BTH.Opcode.IsData() })
+}
+
+// ByConnection groups data packets per connection direction.
+func (t *Trace) ByConnection() map[ConnKey][]*Entry {
+	out := map[ConnKey][]*Entry{}
+	for _, e := range t.DataPackets() {
+		k := e.Key()
+		out[k] = append(out[k], e)
+	}
+	return out
+}
+
+// EventsOfType returns the entries the injector marked with ev.
+func (t *Trace) EventsOfType(ev packet.EventType) []*Entry {
+	return t.Filter(func(e *Entry) bool { return e.Meta.Event == ev })
+}
+
+// CNPs returns congestion-notification packets.
+func (t *Trace) CNPs() []*Entry {
+	return t.Filter(func(e *Entry) bool { return e.Pkt.BTH.Opcode.IsCNP() })
+}
+
+// Acks returns ACK/NAK entries.
+func (t *Trace) Acks() []*Entry {
+	return t.Filter(func(e *Entry) bool { return e.Pkt.BTH.Opcode.IsAck() })
+}
+
+// Naks returns only the negative acknowledgements.
+func (t *Trace) Naks() []*Entry {
+	return t.Filter(func(e *Entry) bool {
+		return e.Pkt.BTH.Opcode.IsAck() && e.Pkt.AETH.IsNak()
+	})
+}
+
+// Span returns the first and last switch timestamps in the trace.
+func (t *Trace) Span() (first, last sim.Time) {
+	if len(t.Entries) == 0 {
+		return 0, 0
+	}
+	first, last = t.Entries[0].Time(), t.Entries[0].Time()
+	for i := range t.Entries {
+		ts := t.Entries[i].Time()
+		if ts < first {
+			first = ts
+		}
+		if ts > last {
+			last = ts
+		}
+	}
+	return first, last
+}
+
+// ThroughputPoint is one bucket of a throughput timeline.
+type ThroughputPoint struct {
+	Start sim.Time
+	Gbps  float64
+}
+
+// ThroughputTimeline buckets data-packet bytes (by original wire length)
+// into fixed windows per connection-direction filter, yielding a
+// goodput-over-time series — the raw material for Figure-10-style plots
+// from a trace alone. A nil keep admits every data packet.
+func (t *Trace) ThroughputTimeline(bucket sim.Duration, keep func(*Entry) bool) []ThroughputPoint {
+	if bucket <= 0 || len(t.Entries) == 0 {
+		return nil
+	}
+	first, last := t.Span()
+	n := int(last.Sub(first)/bucket) + 1
+	bytes := make([]int64, n)
+	for i := range t.Entries {
+		e := &t.Entries[i]
+		if !e.Pkt.BTH.Opcode.IsData() {
+			continue
+		}
+		if keep != nil && !keep(e) {
+			continue
+		}
+		idx := int(e.Time().Sub(first) / bucket)
+		if idx >= 0 && idx < n {
+			bytes[idx] += int64(e.OrigLen)
+		}
+	}
+	out := make([]ThroughputPoint, n)
+	for i := range out {
+		out[i] = ThroughputPoint{
+			Start: first.Add(sim.Duration(i) * bucket),
+			Gbps:  float64(bytes[i]) * 8 / float64(bucket),
+		}
+	}
+	return out
+}
+
+func (t *Trace) String() string {
+	f, l := t.Span()
+	return fmt.Sprintf("Trace(%d packets, %v..%v)", len(t.Entries), f, l)
+}

@@ -1,0 +1,175 @@
+package yamlite
+
+import "fmt"
+
+// Map wraps a parsed mapping with typed, error-accumulating accessors so
+// config loading code stays linear instead of drowning in type asserts.
+type Map struct {
+	m    map[string]any
+	path string
+	errs *[]error
+}
+
+// Wrap creates an accessor over a parsed mapping. All Maps derived from
+// it share one error list, retrieved with Err.
+func Wrap(m map[string]any) Map {
+	return Map{m: m, path: "", errs: new([]error)}
+}
+
+func (w Map) addErr(key, format string, args ...any) {
+	p := key
+	if w.path != "" {
+		p = w.path + "." + key
+	}
+	*w.errs = append(*w.errs, fmt.Errorf("%s: %s", p, fmt.Sprintf(format, args...)))
+}
+
+// Err returns the first accumulated error, or nil.
+func (w Map) Err() error {
+	if len(*w.errs) == 0 {
+		return nil
+	}
+	return (*w.errs)[0]
+}
+
+// Errs returns all accumulated errors.
+func (w Map) Errs() []error { return *w.errs }
+
+// Has reports whether key is present.
+func (w Map) Has(key string) bool {
+	_, ok := w.m[key]
+	return ok
+}
+
+// Keys returns the raw underlying map.
+func (w Map) Raw() map[string]any { return w.m }
+
+// Str returns a string field, or def if absent.
+func (w Map) Str(key, def string) string {
+	v, ok := w.m[key]
+	if !ok || v == nil {
+		return def
+	}
+	s, ok := v.(string)
+	if !ok {
+		w.addErr(key, "want string, got %T", v)
+		return def
+	}
+	return s
+}
+
+// Int returns an integer field, or def if absent.
+func (w Map) Int(key string, def int) int {
+	v, ok := w.m[key]
+	if !ok || v == nil {
+		return def
+	}
+	i, ok := v.(int64)
+	if !ok {
+		w.addErr(key, "want integer, got %T", v)
+		return def
+	}
+	return int(i)
+}
+
+// Int64 returns an int64 field, or def if absent.
+func (w Map) Int64(key string, def int64) int64 {
+	v, ok := w.m[key]
+	if !ok || v == nil {
+		return def
+	}
+	i, ok := v.(int64)
+	if !ok {
+		w.addErr(key, "want integer, got %T", v)
+		return def
+	}
+	return i
+}
+
+// Float returns a float field (integers widen), or def if absent.
+func (w Map) Float(key string, def float64) float64 {
+	v, ok := w.m[key]
+	if !ok || v == nil {
+		return def
+	}
+	switch x := v.(type) {
+	case float64:
+		return x
+	case int64:
+		return float64(x)
+	}
+	w.addErr(key, "want number, got %T", w.m[key])
+	return def
+}
+
+// Bool returns a boolean field, or def if absent.
+func (w Map) Bool(key string, def bool) bool {
+	v, ok := w.m[key]
+	if !ok || v == nil {
+		return def
+	}
+	b, ok := v.(bool)
+	if !ok {
+		w.addErr(key, "want boolean, got %T", v)
+		return def
+	}
+	return b
+}
+
+// Child returns a nested mapping accessor. Absent or mistyped children
+// yield an empty Map (errors are recorded for the mistyped case).
+func (w Map) Child(key string) Map {
+	p := key
+	if w.path != "" {
+		p = w.path + "." + key
+	}
+	v, ok := w.m[key]
+	if !ok || v == nil {
+		return Map{m: map[string]any{}, path: p, errs: w.errs}
+	}
+	m, ok := v.(map[string]any)
+	if !ok {
+		w.addErr(key, "want mapping, got %T", v)
+		return Map{m: map[string]any{}, path: p, errs: w.errs}
+	}
+	return Map{m: m, path: p, errs: w.errs}
+}
+
+// List returns a list field as raw values, or nil if absent.
+func (w Map) List(key string) []any {
+	v, ok := w.m[key]
+	if !ok || v == nil {
+		return nil
+	}
+	l, ok := v.([]any)
+	if !ok {
+		w.addErr(key, "want sequence, got %T", v)
+		return nil
+	}
+	return l
+}
+
+// MapList returns a list of mappings, each wrapped for access.
+func (w Map) MapList(key string) []Map {
+	raw := w.List(key)
+	out := make([]Map, 0, len(raw))
+	for i, v := range raw {
+		m, ok := v.(map[string]any)
+		if !ok {
+			w.addErr(key, "element %d: want mapping, got %T", i, v)
+			continue
+		}
+		out = append(out, Map{m: m, path: fmt.Sprintf("%s[%d]", key, i), errs: w.errs})
+	}
+	return out
+}
+
+// StrList returns a list of strings (scalars are stringified).
+func (w Map) StrList(key string) []string {
+	raw := w.List(key)
+	out := make([]string, 0, len(raw))
+	for _, v := range raw {
+		out = append(out, fmt.Sprint(v))
+	}
+	return out
+}

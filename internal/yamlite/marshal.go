@@ -1,0 +1,178 @@
+package yamlite
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Marshal renders plain Go values (map[string]any, []any, scalars — the
+// same shapes Parse produces) as a yamlite document. Map keys are sorted
+// for deterministic output, lists of scalars use flow form, and lists of
+// mappings use block "- key: value" form, matching the style of the
+// paper's listings. Marshal(Parse(x)) is semantically idempotent.
+func Marshal(v any) ([]byte, error) {
+	var b strings.Builder
+	switch x := v.(type) {
+	case map[string]any:
+		if err := writeMap(&b, x, 0); err != nil {
+			return nil, err
+		}
+	case nil:
+		// empty document
+	default:
+		return nil, fmt.Errorf("yamlite: document root must be a mapping, got %T", v)
+	}
+	return []byte(b.String()), nil
+}
+
+func writeMap(b *strings.Builder, m map[string]any, indent int) error {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	pad := strings.Repeat(" ", indent)
+	for _, k := range keys {
+		v := m[k]
+		switch x := v.(type) {
+		case map[string]any:
+			if len(x) == 0 {
+				fmt.Fprintf(b, "%s%s: {}\n", pad, quoteKey(k))
+				continue
+			}
+			fmt.Fprintf(b, "%s%s:\n", pad, quoteKey(k))
+			if err := writeMap(b, x, indent+2); err != nil {
+				return err
+			}
+		case []any:
+			if len(x) == 0 {
+				fmt.Fprintf(b, "%s%s: []\n", pad, quoteKey(k))
+				continue
+			}
+			if allScalars(x) {
+				parts := make([]string, len(x))
+				for i, e := range x {
+					s, err := scalarString(e)
+					if err != nil {
+						return err
+					}
+					parts[i] = s
+				}
+				fmt.Fprintf(b, "%s%s: [%s]\n", pad, quoteKey(k), strings.Join(parts, ", "))
+				continue
+			}
+			fmt.Fprintf(b, "%s%s:\n", pad, quoteKey(k))
+			if err := writeSeq(b, x, indent+2); err != nil {
+				return err
+			}
+		default:
+			s, err := scalarString(v)
+			if err != nil {
+				return fmt.Errorf("key %q: %w", k, err)
+			}
+			fmt.Fprintf(b, "%s%s: %s\n", pad, quoteKey(k), s)
+		}
+	}
+	return nil
+}
+
+func writeSeq(b *strings.Builder, seq []any, indent int) error {
+	pad := strings.Repeat(" ", indent)
+	for _, e := range seq {
+		switch x := e.(type) {
+		case map[string]any:
+			// Inline flow mapping per item — the Listing-2 style.
+			keys := make([]string, 0, len(x))
+			for k := range x {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			parts := make([]string, 0, len(keys))
+			for _, k := range keys {
+				s, err := scalarString(x[k])
+				if err != nil {
+					return err
+				}
+				parts = append(parts, fmt.Sprintf("%s: %s", quoteKey(k), s))
+			}
+			fmt.Fprintf(b, "%s- {%s}\n", pad, strings.Join(parts, ", "))
+		case []any:
+			return fmt.Errorf("yamlite: nested sequences are not supported")
+		default:
+			s, err := scalarString(e)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(b, "%s- %s\n", pad, s)
+		}
+	}
+	return nil
+}
+
+func allScalars(seq []any) bool {
+	for _, e := range seq {
+		switch e.(type) {
+		case map[string]any, []any:
+			return false
+		}
+	}
+	return true
+}
+
+// scalarString renders a scalar so Parse reads back the same typed value.
+func scalarString(v any) (string, error) {
+	switch x := v.(type) {
+	case nil:
+		return "null", nil
+	case bool:
+		if x {
+			return "true", nil
+		}
+		return "false", nil
+	case int:
+		return strconv.Itoa(x), nil
+	case int64:
+		return strconv.FormatInt(x, 10), nil
+	case float64:
+		s := strconv.FormatFloat(x, 'g', -1, 64)
+		// Ensure it re-parses as a float, not an int.
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0"
+		}
+		return s, nil
+	case string:
+		if strings.ContainsAny(x, "\n\r") {
+			// The format is line-based; multi-line scalars do not exist.
+			return "", fmt.Errorf("yamlite: cannot marshal string containing newline")
+		}
+		if needsQuoting(x) {
+			return "'" + strings.ReplaceAll(x, "'", "''") + "'", nil
+		}
+		return x, nil
+	default:
+		return "", fmt.Errorf("yamlite: cannot marshal %T", v)
+	}
+}
+
+// needsQuoting reports whether a bare rendering of s would parse back as
+// something other than the string s.
+func needsQuoting(s string) bool {
+	if s == "" {
+		return true
+	}
+	if got, isStr := Scalar(s).(string); !isStr || got != s {
+		return true
+	}
+	return strings.ContainsAny(s, ":#{}[],'\"\n") ||
+		strings.HasPrefix(s, "- ") || s == "-" ||
+		s != strings.TrimSpace(s)
+}
+
+func quoteKey(k string) string {
+	if needsQuoting(k) {
+		return "'" + strings.ReplaceAll(k, "'", "''") + "'"
+	}
+	return k
+}

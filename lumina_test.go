@@ -1,0 +1,139 @@
+package lumina_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	lumina "github.com/lumina-sim/lumina"
+)
+
+func TestFacadeQuickstartFlow(t *testing.T) {
+	cfg := lumina.DefaultConfig()
+	cfg.Requester.NIC.Type = lumina.ModelCX5
+	cfg.Responder.NIC.Type = lumina.ModelCX5
+	cfg.Traffic.Events = []lumina.Event{{QPN: 1, PSN: 5, Type: "drop", Iter: 1}}
+
+	rep, err := lumina.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.IntegrityOK {
+		t.Fatalf("integrity: %s", rep.IntegrityDetail)
+	}
+	gbn := lumina.CheckGoBackN(rep.Trace)
+	if !gbn.OK() || gbn.Events != 1 {
+		t.Fatalf("gbn = %+v", gbn)
+	}
+	evs := lumina.AnalyzeRetransmissions(rep.Trace)
+	if len(evs) != 1 || evs[0].TotalLatency() <= 0 {
+		t.Fatalf("retrans events = %+v", evs)
+	}
+	inc := lumina.CheckCounters(rep.Trace,
+		lumina.HostViewOf("requester", cfg.Requester, rep.RequesterCounters),
+		lumina.HostViewOf("responder", cfg.Responder, rep.ResponderCounters),
+	)
+	if len(inc) != 0 {
+		t.Fatalf("inconsistencies on CX5: %v", inc)
+	}
+}
+
+func TestFacadeRunFile(t *testing.T) {
+	src := `
+name: file-test
+traffic:
+  num-connections: 1
+  rdma-verb: write
+  num-msgs-per-qp: 2
+  message-size: 2048
+`
+	path := filepath.Join(t.TempDir(), "t.yaml")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := lumina.RunFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Config.Name != "file-test" || rep.Traffic.Conns[0].Statuses["OK"] != 2 {
+		t.Fatalf("report = %+v", rep.Traffic.Conns[0])
+	}
+	if _, err := lumina.RunFile(path + ".nope"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestFacadeModels(t *testing.T) {
+	ms := lumina.Models()
+	if len(ms) != 5 {
+		t.Fatalf("models = %v", ms)
+	}
+	for _, m := range ms {
+		cfg := lumina.DefaultConfig()
+		cfg.Requester.NIC.Type = m
+		cfg.Responder.NIC.Type = m
+		cfg.Traffic.MessageSize = 2048
+		rep, err := lumina.Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if rep.Traffic.Conns[0].Statuses["OK"] != 1 {
+			t.Fatalf("%s: %v", m, rep.Traffic.Conns[0].Statuses)
+		}
+	}
+}
+
+func TestFacadeFuzzerConstruction(t *testing.T) {
+	target := lumina.NoisyNeighborTarget(lumina.ModelCX4)
+	if _, err := lumina.NewFuzzer(target, lumina.FuzzOptions{Seed: 1, PoolSize: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lumina.NewFuzzer(lumina.FuzzTarget{}, lumina.FuzzOptions{}); err == nil {
+		t.Fatal("empty target accepted")
+	}
+}
+
+// TestConfigCorpus parses and executes every shipped example
+// configuration end to end.
+func TestConfigCorpus(t *testing.T) {
+	files, err := filepath.Glob("configs/*.yaml")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no config corpus found: %v", err)
+	}
+	for _, f := range files {
+		f := f
+		t.Run(filepath.Base(f), func(t *testing.T) {
+			cfg, err := lumina.LoadConfig(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := lumina.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.TimedOut {
+				t.Fatal("timed out")
+			}
+			if !rep.IntegrityOK {
+				t.Fatalf("integrity: %s", rep.IntegrityDetail)
+			}
+			// Round-trip through the emitter and re-run deterministically.
+			yml, err := cfg.MarshalYAML()
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg2, err := lumina.ParseConfig(yml)
+			if err != nil {
+				t.Fatalf("re-parse: %v\n%s", err, yml)
+			}
+			rep2, err := lumina.Run(cfg2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rep2.Trace.Entries) != len(rep.Trace.Entries) {
+				t.Fatalf("marshalled config diverged: %d vs %d packets",
+					len(rep2.Trace.Entries), len(rep.Trace.Entries))
+			}
+		})
+	}
+}

@@ -1,0 +1,189 @@
+// Cross-cutting property-based tests: whole-system invariants that must
+// hold for arbitrary (bounded) workloads and event patterns, checked
+// with testing/quick over end-to-end orchestrated runs.
+package lumina_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	lumina "github.com/lumina-sim/lumina"
+	"github.com/lumina-sim/lumina/internal/analyzer"
+	"github.com/lumina-sim/lumina/internal/orchestrator"
+	"github.com/lumina-sim/lumina/internal/sim"
+)
+
+// arbitraryConfig derives a small but varied test configuration from
+// fuzz inputs: verb, message geometry, connection count, and a set of
+// drop/ecn events at bounded positions.
+func arbitraryConfig(seed int64, verbSel, conns, msgs, sizeKB uint8, drops []uint8) lumina.Config {
+	cfg := lumina.DefaultConfig()
+	cfg.Seed = seed
+	cfg.Requester.NIC.Type = lumina.ModelSpec
+	cfg.Responder.NIC.Type = lumina.ModelSpec
+	cfg.Traffic.Verb = []string{"write", "read", "send"}[int(verbSel)%3]
+	cfg.Traffic.NumConnections = int(conns)%3 + 1
+	cfg.Traffic.NumMsgsPerQP = int(msgs)%3 + 1
+	cfg.Traffic.MessageSize = (int(sizeKB)%8 + 1) * 1024
+	cfg.Traffic.MinRetransmitTimeout = 10 // keep timeout recoveries fast
+
+	totalPkts := cfg.Traffic.PacketsPerQP()
+	for i, d := range drops {
+		if i >= 3 {
+			break
+		}
+		psn := int(d)%totalPkts + 1
+		typ := "drop"
+		if d%3 == 0 {
+			typ = "ecn"
+		}
+		cfg.Traffic.Events = append(cfg.Traffic.Events, lumina.Event{
+			QPN: i%cfg.Traffic.NumConnections + 1, PSN: psn, Type: typ, Iter: 1,
+		})
+	}
+	return cfg
+}
+
+// TestPropertyEndToEnd verifies, for arbitrary bounded workloads with
+// arbitrary single-round drop/ECN injections on a spec-conforming NIC:
+//
+//  1. every message completes successfully (losses are recoverable);
+//  2. the reconstructed trace passes the three-condition integrity check;
+//  3. the Go-back-N FSM checker finds no violations;
+//  4. counters agree with the trace;
+//  5. the run is deterministic (same config ⇒ same trace length).
+func TestPropertyEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end property sweep")
+	}
+	f := func(seed int64, verbSel, conns, msgs, sizeKB uint8, drops []uint8) bool {
+		cfg := arbitraryConfig(seed, verbSel, conns, msgs, sizeKB, drops)
+		rep, err := orchestrator.Run(cfg, orchestrator.Options{Deadline: 300 * sim.Second})
+		if err != nil || rep.TimedOut {
+			t.Logf("cfg %+v: err=%v timedOut", cfg.Traffic, err)
+			return false
+		}
+		for _, c := range rep.Traffic.Conns {
+			if c.Statuses["OK"] != cfg.Traffic.NumMsgsPerQP {
+				t.Logf("conn %d statuses %v", c.Index, c.Statuses)
+				return false
+			}
+		}
+		if !rep.IntegrityOK {
+			t.Logf("integrity: %s", rep.IntegrityDetail)
+			return false
+		}
+		if gbn := lumina.CheckGoBackN(rep.Trace); !gbn.OK() {
+			t.Logf("gbn violations: %v", gbn.Violations)
+			return false
+		}
+		inc := lumina.CheckCounters(rep.Trace,
+			lumina.HostViewOf("requester", cfg.Requester, rep.RequesterCounters),
+			lumina.HostViewOf("responder", cfg.Responder, rep.ResponderCounters),
+		)
+		if len(inc) != 0 {
+			t.Logf("counter inconsistencies on spec NIC: %v", inc)
+			return false
+		}
+		// Determinism: rerun and compare.
+		rep2, err := orchestrator.Run(cfg, orchestrator.Options{Deadline: 300 * sim.Second})
+		if err != nil || len(rep2.Trace.Entries) != len(rep.Trace.Entries) ||
+			rep2.DurationNs != rep.DurationNs {
+			t.Logf("nondeterministic rerun")
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyOfflineRetransConsistency: for arbitrary drop patterns,
+// the duplicate data PSNs visible in the trace equal the requester's
+// retransmit counter, and ITER reconstruction labels every duplicate
+// with a round greater than 1. (Note ITER itself is sticky by design —
+// fresh packets sent after a retransmission round inherit the round
+// number, per Figure 3 — so round>1 alone does not mean "retransmitted".)
+func TestPropertyOfflineRetransConsistency(t *testing.T) {
+	f := func(seed int64, dropA, dropB uint8) bool {
+		cfg := lumina.DefaultConfig()
+		cfg.Seed = seed
+		cfg.Traffic.MessageSize = 10240
+		cfg.Traffic.NumMsgsPerQP = 2
+		cfg.Traffic.MinRetransmitTimeout = 10
+		pA := int(dropA)%20 + 1
+		pB := int(dropB)%20 + 1
+		cfg.Traffic.Events = []lumina.Event{{QPN: 1, PSN: pA, Type: "drop", Iter: 1}}
+		if pB != pA {
+			cfg.Traffic.Events = append(cfg.Traffic.Events,
+				lumina.Event{QPN: 1, PSN: pB, Type: "drop", Iter: 1})
+		}
+		rep, err := orchestrator.Run(cfg, orchestrator.Options{Deadline: 300 * sim.Second})
+		if err != nil || rep.TimedOut {
+			return false
+		}
+		iters := analyzer.ReconstructITER(rep.Trace)
+		seen := map[string]map[uint32]bool{}
+		duplicates := 0
+		for i := range rep.Trace.Entries {
+			e := &rep.Trace.Entries[i]
+			if !e.Pkt.BTH.Opcode.IsData() {
+				continue
+			}
+			k := e.Pkt.IP.Src.String() + ">" + e.Pkt.IP.Dst.String()
+			if seen[k] == nil {
+				seen[k] = map[uint32]bool{}
+			}
+			if seen[k][e.Pkt.BTH.PSN] {
+				duplicates++
+				if iters[i] < 2 {
+					t.Logf("duplicate PSN %d labelled round %d", e.Pkt.BTH.PSN, iters[i])
+					return false
+				}
+			}
+			seen[k][e.Pkt.BTH.PSN] = true
+		}
+		counted := int(rep.RequesterCounters["retransmitted_packets"])
+		if duplicates != counted {
+			t.Logf("trace duplicates %d vs counter %d", duplicates, counted)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyConservation: without drops, every transmitted RoCE packet
+// is forwarded, mirrored exactly once, and captured exactly once.
+func TestPropertyConservation(t *testing.T) {
+	f := func(seed int64, conns, msgs uint8) bool {
+		cfg := lumina.DefaultConfig()
+		cfg.Seed = seed
+		cfg.Traffic.NumConnections = int(conns)%4 + 1
+		cfg.Traffic.NumMsgsPerQP = int(msgs)%4 + 1
+		cfg.Traffic.MessageSize = 4096
+		rep, err := orchestrator.Run(cfg, orchestrator.Options{Deadline: 300 * sim.Second})
+		if err != nil || rep.TimedOut {
+			return false
+		}
+		txSum := rep.RequesterCounters["tx_roce_packets"] + rep.ResponderCounters["tx_roce_packets"]
+		rxSum := rep.RequesterCounters["rx_roce_packets"] + rep.ResponderCounters["rx_roce_packets"]
+		if rep.SwitchTotals.RxRoCE != txSum || rxSum != txSum {
+			return false
+		}
+		if rep.SwitchTotals.Mirrored != txSum {
+			return false
+		}
+		var captured uint64
+		for _, d := range rep.DumperStats {
+			captured += d.Captured
+		}
+		return captured == txSum && uint64(len(rep.Trace.Entries)) == txSum
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
