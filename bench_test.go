@@ -289,6 +289,40 @@ func BenchmarkEndToEndRun(b *testing.B) {
 	}
 }
 
+// BenchmarkTelemetryOverhead compares a full orchestrated run with the
+// probe bus detached (the default: every probe is a nil-check no-op)
+// against the same run recording events, metrics, and histograms. The
+// delta is the cost of observability; the no-sink case should sit within
+// noise of the pre-telemetry baseline.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	cfg := lumina.DefaultConfig()
+	cfg.Traffic.NumConnections = 2
+	cfg.Traffic.NumMsgsPerQP = 10
+	cfg.Traffic.MessageSize = 10240
+	for _, bench := range []struct {
+		name      string
+		telemetry bool
+	}{
+		{"NoSink", false},
+		{"Recording", true},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			opts := orchestrator.DefaultOptions()
+			opts.Telemetry = bench.telemetry
+			b.ReportAllocs()
+			events := 0
+			for i := 0; i < b.N; i++ {
+				rep, err := orchestrator.Run(cfg, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				events = len(rep.Events)
+			}
+			b.ReportMetric(float64(events), "probe_events")
+		})
+	}
+}
+
 // BenchmarkSimulatorEvents measures raw event-loop throughput.
 func BenchmarkSimulatorEvents(b *testing.B) {
 	s := sim.New(1)

@@ -3,9 +3,14 @@
 // prints a packet-level listing, reconstructs ITER rounds offline
 // (Figure 3's arithmetic), and re-runs the trace-only analyzers.
 //
+// The timeline subcommand instead converts the capture into Chrome
+// trace-event JSON (one track per connection direction), loadable in
+// Perfetto or chrome://tracing.
+//
 // Usage:
 //
 //	lumina-trace -pcap results/trace.pcap [-n 50] [-analyze]
+//	lumina-trace timeline -pcap results/trace.pcap -out timeline.json
 package main
 
 import (
@@ -15,38 +20,27 @@ import (
 
 	"github.com/lumina-sim/lumina/internal/analyzer"
 	"github.com/lumina-sim/lumina/internal/dumper"
+	"github.com/lumina-sim/lumina/internal/telemetry"
 	"github.com/lumina-sim/lumina/internal/trace"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "timeline" {
+		timelineCmd(os.Args[2:])
+		return
+	}
+
 	pcapPath := flag.String("pcap", "", "pcap file written by the orchestrator")
 	maxPkts := flag.Int("n", 40, "packets to list (0 = all)")
 	analyze := flag.Bool("analyze", true, "run trace analyzers")
 	flag.Parse()
 	if *pcapPath == "" {
 		fmt.Fprintln(os.Stderr, "usage: lumina-trace -pcap trace.pcap")
+		fmt.Fprintln(os.Stderr, "       lumina-trace timeline -pcap trace.pcap -out timeline.json")
 		os.Exit(2)
 	}
 
-	f, err := os.Open(*pcapPath)
-	if err != nil {
-		fatal(err)
-	}
-	defer f.Close()
-	pkts, err := trace.ReadPcap(f)
-	if err != nil {
-		fatal(err)
-	}
-	// Rebuild trace entries from the raw capture: the pcap bytes are the
-	// trimmed mirror copies, metadata intact.
-	recs := make([]dumper.Record, 0, len(pkts))
-	for _, p := range pkts {
-		recs = append(recs, dumper.Record{Wire: p.Data})
-	}
-	tr, err := trace.Reconstruct(recs)
-	if err != nil {
-		fatal(err)
-	}
+	tr := loadTrace(*pcapPath)
 	iters := analyzer.ReconstructITER(tr)
 
 	fmt.Printf("%s: %d packets\n", *pcapPath, len(tr.Entries))
@@ -104,6 +98,86 @@ func main() {
 	if cnp.TotalCNPs() > 0 {
 		fmt.Printf("cnp: %d notification(s), min gaps port/ip/qp = %v/%v/%v, orphans %d\n",
 			cnp.TotalCNPs(), cnp.MinIntervalPerPort, cnp.MinIntervalPerIP, cnp.MinIntervalPerQP, cnp.Orphans)
+	}
+}
+
+// loadTrace rebuilds trace entries from the raw capture: the pcap bytes
+// are the trimmed mirror copies, metadata intact.
+func loadTrace(path string) *trace.Trace {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	pkts, err := trace.ReadPcap(f)
+	if err != nil {
+		fatal(err)
+	}
+	recs := make([]dumper.Record, 0, len(pkts))
+	for _, p := range pkts {
+		recs = append(recs, dumper.Record{Wire: p.Data})
+	}
+	tr, err := trace.Reconstruct(recs)
+	if err != nil {
+		fatal(err)
+	}
+	return tr
+}
+
+// timelineCmd renders a captured trace as Chrome trace-event JSON: one
+// track per connection direction, one instant per packet (named by
+// opcode), with PSN / mirror-seq / ITER args and the injected event
+// type where one fired.
+func timelineCmd(argv []string) {
+	fs := flag.NewFlagSet("timeline", flag.ExitOnError)
+	pcapPath := fs.String("pcap", "", "pcap file written by the orchestrator")
+	outPath := fs.String("out", "", "output file (default stdout)")
+	fs.Parse(argv)
+	if *pcapPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: lumina-trace timeline -pcap trace.pcap [-out timeline.json]")
+		os.Exit(2)
+	}
+
+	tr := loadTrace(*pcapPath)
+	iters := analyzer.ReconstructITER(tr)
+
+	events := make([]telemetry.Event, 0, len(tr.Entries))
+	for i := range tr.Entries {
+		e := &tr.Entries[i]
+		k := e.Key()
+		args := []telemetry.Field{
+			telemetry.I("psn", int64(e.Pkt.BTH.PSN)),
+			telemetry.I("seq", int64(e.Meta.Seq)),
+		}
+		if iters[i] > 0 {
+			args = append(args, telemetry.I("iter", int64(iters[i])))
+		}
+		if e.Meta.Event != 0 {
+			args = append(args, telemetry.S("event", e.Meta.Event.String()))
+		}
+		events = append(events, telemetry.Event{
+			At:    e.Meta.Timestamp,
+			Kind:  telemetry.KindTracePkt,
+			Track: fmt.Sprintf("%s->%s/qp-0x%06x", k.Src, k.Dst, k.DstQPN),
+			Name:  e.Pkt.BTH.Opcode.String(),
+			Args:  args,
+		})
+	}
+
+	out := os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := telemetry.WriteTimeline(out, events); err != nil {
+		fatal(err)
+	}
+	if *outPath != "" {
+		fmt.Printf("timeline (%d packets) written to %s\n", len(events), *outPath)
 	}
 }
 

@@ -6,9 +6,11 @@
 // Usage:
 //
 //	lumina -config test.yaml [-out results/] [-analyze] [-deadline 600]
+//	       [-timeline t.json] [-metrics m.json]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +24,8 @@ func main() {
 	outDir := flag.String("out", "", "directory for artifacts (report.json, trace.pcap)")
 	analyze := flag.Bool("analyze", true, "run the built-in analyzers on the trace")
 	deadline := flag.Int("deadline", 600, "virtual-time deadline in seconds")
+	timeline := flag.String("timeline", "", "write a Perfetto-compatible timeline (Chrome trace-event JSON) to this file")
+	metrics := flag.String("metrics", "", "write the telemetry metrics snapshot (JSON) to this file")
 	flag.Parse()
 
 	if *cfgPath == "" {
@@ -33,7 +37,8 @@ func main() {
 		fatal(err)
 	}
 	rep, err := lumina.RunWithOptions(cfg, lumina.Options{
-		Deadline: sim.Duration(*deadline) * sim.Second,
+		Deadline:  sim.Duration(*deadline) * sim.Second,
+		Telemetry: *timeline != "" || *metrics != "",
 	})
 	if err != nil {
 		fatal(err)
@@ -43,21 +48,36 @@ func main() {
 		cfg.Name, cfg.Traffic.NumConnections, cfg.Traffic.Verb,
 		cfg.Traffic.NumMsgsPerQP, cfg.Traffic.MessageSize)
 	fmt.Printf("virtual duration: %v  timed-out: %v\n", rep.DurationNs, rep.TimedOut)
-	if rep.IntegrityOK {
+	haveTrace := rep.Trace != nil && len(rep.Trace.Entries) > 0
+	switch {
+	case rep.Trace == nil:
+		fmt.Println("trace: none collected (mirroring disabled)")
+	case rep.IntegrityOK:
 		fmt.Printf("trace: %d packets, integrity OK\n", len(rep.Trace.Entries))
-	} else {
+	default:
 		fmt.Printf("trace: %d packets, INTEGRITY FAILED: %s\n", len(rep.Trace.Entries), rep.IntegrityDetail)
 	}
-	fmt.Printf("aggregate goodput: %.2f Gbps, avg MCT: %v\n",
-		rep.Traffic.TotalGoodputGbps(), rep.Traffic.AvgMCT())
-	for i := range rep.Traffic.Conns {
-		c := &rep.Traffic.Conns[i]
-		fmt.Printf("  conn %2d qpn=%#x: %v  avg MCT %v  goodput %.2f Gbps\n",
-			c.Index, c.ReqQPN, statusSummary(c.Statuses), c.AvgMCT(), c.GoodputGbps())
+	if rep.Traffic != nil {
+		fmt.Printf("aggregate goodput: %.2f Gbps, avg MCT: %v\n",
+			rep.Traffic.TotalGoodputGbps(), rep.Traffic.AvgMCT())
+		for i := range rep.Traffic.Conns {
+			c := &rep.Traffic.Conns[i]
+			fmt.Printf("  conn %2d qpn=%#x: %v  avg MCT %v  goodput %.2f Gbps\n",
+				c.Index, c.ReqQPN, statusSummary(c.Statuses), c.AvgMCT(), c.GoodputGbps())
+		}
 	}
 
-	if *analyze && rep.IntegrityOK && len(rep.Trace.Entries) > 0 {
+	if *analyze && haveTrace {
 		fmt.Println("\n--- analyzers ---")
+		if !rep.IntegrityOK {
+			// A trace that fails the integrity check (§3.5) is missing
+			// mirrored packets — usually dumper ring overflow. Sequence
+			// gaps then look like drops that never happened on the wire,
+			// so analyzer verdicts below are advisory, not conclusive.
+			fmt.Printf("WARNING: integrity check failed (%s)\n", rep.IntegrityDetail)
+			fmt.Println("WARNING: the trace is incomplete; gaps may be capture loss, not network loss.")
+			fmt.Println("WARNING: analyzer results on this partial trace are advisory only.")
+		}
 		gbn := lumina.CheckGoBackN(rep.Trace)
 		fmt.Printf("go-back-n logic: %d connection-direction(s), %d gap(s), %d violation(s)\n",
 			gbn.ConnsChecked, gbn.Events, len(gbn.Violations))
@@ -89,12 +109,42 @@ func main() {
 		}
 	}
 
+	if *timeline != "" {
+		if err := writeTimeline(*timeline, rep.Events); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("timeline (%d events) written to %s\n", len(rep.Events), *timeline)
+	}
+	if *metrics != "" {
+		if err := writeMetrics(*metrics, rep.Metrics); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("metrics written to %s\n", *metrics)
+	}
+
 	if *outDir != "" {
 		if err := rep.WriteArtifacts(*outDir); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("\nartifacts written to %s\n", *outDir)
 	}
+}
+
+func writeTimeline(path string, events []lumina.TelemetryEvent) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return lumina.WriteTimeline(f, events)
+}
+
+func writeMetrics(path string, m *lumina.Metrics) error {
+	js, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(js, '\n'), 0o644)
 }
 
 func statusSummary(st map[string]int) string {

@@ -19,6 +19,7 @@ import (
 
 	"github.com/lumina-sim/lumina/internal/packet"
 	"github.com/lumina-sim/lumina/internal/sim"
+	"github.com/lumina-sim/lumina/internal/telemetry"
 )
 
 // Record is one captured (trimmed) mirror packet.
@@ -61,6 +62,8 @@ type Node struct {
 
 	cores      []core
 	terminated bool
+	track      string // telemetry track, "dumper-<idx>"
+	queued     int    // packets in rings across all cores
 
 	// Counters for integrity analysis.
 	RxPackets  uint64
@@ -82,7 +85,11 @@ func NewNode(s *sim.Simulator, index int, cfg Config) *Node {
 	if cfg.PerCoreGbps <= 0 {
 		cfg.PerCoreGbps = 5
 	}
-	return &Node{Sim: s, Index: index, Cfg: cfg, cores: make([]core, cfg.Cores)}
+	return &Node{
+		Sim: s, Index: index, Cfg: cfg,
+		cores: make([]core, cfg.Cores),
+		track: fmt.Sprintf("dumper-%d", index),
+	}
 }
 
 // AttachPort binds the node to its switch-facing port.
@@ -100,9 +107,15 @@ func (n *Node) receive(wire []byte) {
 	c := &n.cores[ci]
 	if c.queued >= n.Cfg.RingDepth {
 		n.RxDiscards++
+		if h := n.Sim.Hub(); h.Active() {
+			h.EmitArgs(telemetry.KindDumperDisc, n.track, "ring_full",
+				telemetry.I("core", int64(ci)))
+			h.Count("dumper.discards", 1)
+		}
 		return
 	}
 	c.queued++
+	n.queued++
 
 	trim := n.Cfg.TrimBytes
 	if trim > len(wire) {
@@ -119,8 +132,24 @@ func (n *Node) receive(wire []byte) {
 	// DMA and inspect the packet before trimming.
 	done := start.Add(sim.TransferTime(len(wire), n.Cfg.PerCoreGbps))
 	c.busyTil = done
+	if h := n.Sim.Hub(); h.Active() {
+		h.EmitArgs(telemetry.KindDumperEnq, n.track, "enqueue",
+			telemetry.I("core", int64(ci)),
+			telemetry.I("depth", int64(c.queued)))
+		h.EmitCounter(telemetry.KindDumperQueue, n.track, "ring_occupancy",
+			int64(n.queued))
+		h.Count("dumper.rx", 1)
+		// Sojourn = ring wait + service: the interval between NIC arrival
+		// and the core finishing with the packet.
+		h.Observe("dumper.sojourn_ns", int64(done.Sub(now)))
+	}
 	n.Sim.At(done, func() {
 		c.queued--
+		n.queued--
+		if h := n.Sim.Hub(); h.Active() {
+			h.EmitCounter(telemetry.KindDumperQueue, n.track, "ring_occupancy",
+				int64(n.queued))
+		}
 		// Restore the RSS-randomized port before buffering (§3.4).
 		packet.RewriteUDPDstPort(data, packet.RoCEv2Port)
 		c.captured = append(c.captured, Record{

@@ -17,6 +17,7 @@ import (
 	"github.com/lumina-sim/lumina/internal/config"
 	"github.com/lumina-sim/lumina/internal/packet"
 	"github.com/lumina-sim/lumina/internal/sim"
+	"github.com/lumina-sim/lumina/internal/telemetry"
 )
 
 // Rule is one entry of the event-injection match-action table — the
@@ -249,6 +250,14 @@ func (sw *Switch) ingress(portIdx int, wire []byte) {
 		if sw.Cfg.Inject {
 			if rule = sw.lookupRule(&pkt, iter); rule != nil {
 				ev = rule.Action
+				if h := sw.Sim.Hub(); h.Active() {
+					h.EmitArgs(telemetry.KindInjectHit,
+						fmt.Sprintf("switch/port-%d", portIdx), ev.String(),
+						telemetry.I("psn", int64(pkt.BTH.PSN)),
+						telemetry.I("qpn", int64(pkt.BTH.DestQP)),
+						telemetry.I("iter", int64(iter)))
+					h.Count("inject.hits", 1)
+				}
 			}
 		}
 	}
@@ -281,6 +290,7 @@ func (sw *Switch) ingress(portIdx int, wire []byte) {
 	case packet.EventDrop:
 		pc.Dropped++
 		sw.total.Dropped++
+		sw.Sim.Hub().Count("inject.drops", 1)
 		return
 	case packet.EventDelay:
 		// Quantitative delay (§7 future work): forward after the rule's
@@ -449,10 +459,18 @@ func (sw *Switch) mirror(wire []byte, ev packet.EventType, ingress int) {
 		packet.RewriteUDPDstPort(dup, uint16(0xC000+sw.rng.Intn(0x3000)))
 	}
 	var port *sim.Port
+	var pick int
 	if sw.ByIngressMirror {
-		port = sw.dumperPorts[ingress%len(sw.dumperPorts)]
+		pick = ingress % len(sw.dumperPorts)
 	} else {
-		port = sw.dumperPorts[sw.nextDumper()]
+		pick = sw.nextDumper()
+	}
+	port = sw.dumperPorts[pick]
+	if h := sw.Sim.Hub(); h.Active() {
+		h.EmitArgs(telemetry.KindWRRPick, "switch/mirror", "spray",
+			telemetry.I("node", int64(pick)),
+			telemetry.I("seq", int64(sw.mirrorSeq)))
+		h.Count("switch.mirrored", 1)
 	}
 	sw.total.Mirrored++
 	sw.Sim.After(sim.Duration(sw.Cfg.PipelineLatencyNs), func() {

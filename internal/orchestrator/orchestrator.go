@@ -22,6 +22,7 @@ import (
 	"github.com/lumina-sim/lumina/internal/packet"
 	"github.com/lumina-sim/lumina/internal/rnic"
 	"github.com/lumina-sim/lumina/internal/sim"
+	"github.com/lumina-sim/lumina/internal/telemetry"
 	"github.com/lumina-sim/lumina/internal/trace"
 	"github.com/lumina-sim/lumina/internal/traffic"
 )
@@ -31,6 +32,12 @@ type Options struct {
 	// Deadline bounds virtual time; a run that has not finished by then
 	// is reported as timed out instead of spinning forever.
 	Deadline sim.Duration
+
+	// Telemetry attaches a probe hub to the simulation: the run records
+	// typed events and metrics into Report.Events / Report.Metrics.
+	// Telemetry is observe-only and does not perturb the simulated
+	// history — a run produces the same trace with or without it.
+	Telemetry bool
 }
 
 // DefaultOptions allows generous virtual time for timeout-heavy tests.
@@ -64,6 +71,14 @@ type Report struct {
 	TimedOut   bool     `json:"timed_out"`
 	DurationNs sim.Time `json:"duration_ns"`
 
+	// Metrics is the telemetry registry snapshot; nil unless
+	// Options.Telemetry was set. Serialized to metrics.json by
+	// WriteArtifacts (omitted from report.json to keep it stable).
+	Metrics *telemetry.MetricsSnapshot `json:"-"`
+	// Events is the recorded probe stream in emission order; nil unless
+	// Options.Telemetry was set. Rendered by telemetry.WriteTimeline.
+	Events []telemetry.Event `json:"-"`
+
 	// Trace is the reconstructed packet trace (not serialized to JSON;
 	// use WriteArtifacts for a pcap).
 	Trace *trace.Trace `json:"-"`
@@ -92,6 +107,10 @@ func Build(cfg config.Test, opts Options) (*Testbed, error) {
 		opts.Deadline = DefaultOptions().Deadline
 	}
 	s := sim.New(cfg.Seed)
+	if opts.Telemetry {
+		s.AttachHub(telemetry.NewHub())
+		s.Hub().Emit(telemetry.KindRunPhase, "orchestrator", "setup")
+	}
 
 	reqNIC, err := buildNIC(s, cfg.Requester, "requester", packet.MAC{2, 0, 0, 0, 0, 1})
 	if err != nil {
@@ -190,6 +209,8 @@ func buildNIC(s *sim.Simulator, h config.Host, name string, mac packet.MAC) (*rn
 // Execute runs traffic to completion (or the deadline), collects all
 // results, reconstructs the trace and performs the integrity check.
 func (tb *Testbed) Execute() (*Report, error) {
+	hub := tb.Sim.Hub()
+	hub.Emit(telemetry.KindRunPhase, "orchestrator", "traffic")
 	if err := tb.Pair.Start(nil); err != nil {
 		return nil, err
 	}
@@ -197,10 +218,12 @@ func (tb *Testbed) Execute() (*Report, error) {
 	timedOut := !tb.Pair.Finished()
 	if !timedOut {
 		// Drain trailing events (mirrors in flight, dumper processing).
+		hub.Emit(telemetry.KindRunPhase, "orchestrator", "drain")
 		tb.Sim.Run()
 	}
 
 	// TERM the dumpers and rebuild the trace (§3.4, §3.5).
+	hub.Emit(telemetry.KindRunPhase, "orchestrator", "terminate")
 	records := tb.Pool.Terminate()
 	tr, err := trace.Reconstruct(records)
 	if err != nil {
@@ -209,7 +232,7 @@ func (tb *Testbed) Execute() (*Report, error) {
 
 	rep := &Report{
 		Config:            tb.Cfg,
-		Traffic:           tb.Pair.Results(),
+		Traffic:           tb.Pair.Snapshot(),
 		RequesterCounters: tb.ReqNIC.Counters.Snapshot(),
 		ResponderCounters: tb.RespNIC.Counters.Snapshot(),
 		SwitchTotals:      tb.Switch.Totals(),
@@ -232,6 +255,10 @@ func (tb *Testbed) Execute() (*Report, error) {
 	} else {
 		rep.IntegrityOK = true
 		rep.IntegrityDetail = "mirroring disabled; no trace collected"
+	}
+	if hub.Active() {
+		rep.Metrics = hub.Snapshot()
+		rep.Events = hub.Events()
 	}
 	return rep, nil
 }
@@ -265,6 +292,26 @@ func (r *Report) WriteArtifacts(dir string) error {
 		}
 		defer f.Close()
 		if err := r.Trace.WritePcap(f); err != nil {
+			return err
+		}
+	}
+	if r.Metrics != nil {
+		mjs, err := json.MarshalIndent(r.Metrics, "", "  ")
+		if err != nil {
+			return err
+		}
+		mjs = append(mjs, '\n')
+		if err := os.WriteFile(filepath.Join(dir, "metrics.json"), mjs, 0o644); err != nil {
+			return err
+		}
+	}
+	if r.Events != nil {
+		f, err := os.Create(filepath.Join(dir, "timeline.json"))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := telemetry.WriteTimeline(f, r.Events); err != nil {
 			return err
 		}
 	}

@@ -255,6 +255,126 @@ func TestDeadlineTimeout(t *testing.T) {
 	}
 }
 
+func TestDeadlineTimeoutStillCollectsTelemetry(t *testing.T) {
+	// A timed-out run must still yield partial artifacts: the truncated
+	// traffic snapshot, NIC counters, and — with telemetry on — the
+	// metrics registry and probe stream recorded up to the deadline.
+	cfg := baseCfg()
+	cfg.Traffic.NumMsgsPerQP = 1
+	cfg.Traffic.MessageSize = 4096 // multi-packet: inter-packet gaps exist
+	var evs []config.Event
+	for iter := 1; iter <= 20; iter++ {
+		evs = append(evs, config.Event{QPN: 1, PSN: 1, Type: "drop", Iter: iter})
+	}
+	cfg.Traffic.Events = evs
+	opts := Options{Deadline: 1 * sim.Millisecond, Telemetry: true} // << the 67 ms RTO
+	rep, err := Run(cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.TimedOut {
+		t.Fatal("run should have timed out")
+	}
+
+	// Partial traffic results: QPN 1 (conn index 0) is black-holed, the
+	// other connection finished its single message — both appear in the
+	// snapshot.
+	if rep.Traffic == nil || len(rep.Traffic.Conns) != 2 {
+		t.Fatalf("timed-out run lost traffic snapshot: %+v", rep.Traffic)
+	}
+	if rep.Traffic.Conns[1].Statuses["OK"] != 1 {
+		t.Fatalf("conn 1 statuses = %v, want the finished message", rep.Traffic.Conns[1].Statuses)
+	}
+	if rep.Traffic.Conns[0].Statuses["OK"] != 0 {
+		t.Fatalf("black-holed conn 0 completed: %v", rep.Traffic.Conns[0].Statuses)
+	}
+
+	// NIC counters were still snapshotted.
+	if rep.RequesterCounters[rnic.CtrTxRoCEPackets] == 0 {
+		t.Fatal("requester counters empty on timeout")
+	}
+
+	// Telemetry survived the truncation.
+	if rep.Metrics == nil {
+		t.Fatal("no metrics snapshot on timeout")
+	}
+	if rep.Metrics.CounterValue("nic.tx_packets") == 0 {
+		t.Fatal("nic.tx_packets counter not collected")
+	}
+	if h := rep.Metrics.Hist("nic.tx_gap_ns"); h == nil || h.Count == 0 {
+		t.Fatal("tx gap histogram not collected")
+	}
+	if len(rep.Events) == 0 {
+		t.Fatal("no probe events on timeout")
+	}
+	// The injected drops show up as probe hits even though the run never
+	// finished.
+	if rep.Metrics.CounterValue("inject.drops") == 0 {
+		t.Fatal("inject.drops counter not collected")
+	}
+}
+
+func TestTelemetryIsDeterministicAndObserveOnly(t *testing.T) {
+	cfg := baseCfg()
+	cfg.Traffic.Events = []config.Event{
+		{QPN: 1, PSN: 4, Type: "ecn", Iter: 1},
+		{QPN: 2, PSN: 5, Type: "drop", Iter: 1},
+	}
+	opts := DefaultOptions()
+	opts.Telemetry = true
+
+	runOnce := func() (*Report, []byte, []byte) {
+		rep, err := Run(cfg, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dir := t.TempDir()
+		if err := rep.WriteArtifacts(dir); err != nil {
+			t.Fatal(err)
+		}
+		mjs, err := os.ReadFile(filepath.Join(dir, "metrics.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tjs, err := os.ReadFile(filepath.Join(dir, "timeline.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep, mjs, tjs
+	}
+
+	r1, m1, t1 := runOnce()
+	r2, m2, t2 := runOnce()
+	if string(m1) != string(m2) {
+		t.Fatal("same-seed runs produced different metrics.json bytes")
+	}
+	if string(t1) != string(t2) {
+		t.Fatal("same-seed runs produced different timeline bytes")
+	}
+
+	// Observe-only: the simulated history matches a telemetry-free run
+	// exactly.
+	bare, err := Run(cfg, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare.DurationNs != r1.DurationNs {
+		t.Fatalf("telemetry changed the run: %v vs %v", bare.DurationNs, r1.DurationNs)
+	}
+	if len(bare.Trace.Entries) != len(r1.Trace.Entries) {
+		t.Fatal("telemetry changed the trace")
+	}
+	if bare.Metrics != nil || bare.Events != nil {
+		t.Fatal("telemetry collected without opting in")
+	}
+	if r2.Metrics.Hist("retrans.nack_gen_ns") == nil {
+		t.Fatal("expected NACK generation histogram from the drop event")
+	}
+	if r2.Metrics.CounterValue("cnp.sent") == 0 {
+		t.Fatal("expected CNPs from the ECN event")
+	}
+}
+
 func TestInvalidConfigRejected(t *testing.T) {
 	cfg := baseCfg()
 	cfg.Requester.NIC.Type = "cx9"

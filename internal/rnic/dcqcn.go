@@ -1,6 +1,9 @@
 package rnic
 
-import "github.com/lumina-sim/lumina/internal/sim"
+import (
+	"github.com/lumina-sim/lumina/internal/sim"
+	"github.com/lumina-sim/lumina/internal/telemetry"
+)
 
 // rpState is the DCQCN reaction-point rate controller attached to each
 // QP when dcqcn-rp-enable is set. It follows the algorithm of the DCQCN
@@ -9,6 +12,7 @@ import "github.com/lumina-sim/lumina/internal/sim"
 // target rate, then additive and hyper increase.
 type rpState struct {
 	nic *NIC
+	qp  *QP // owning QP, for the per-QP rate telemetry track
 
 	lineGbps    float64
 	currentGbps float64
@@ -29,13 +33,23 @@ type rpState struct {
 	active     bool
 }
 
-func newRPState(nic *NIC) *rpState {
+func newRPState(qp *QP) *rpState {
+	nic := qp.nic
 	return &rpState{
 		nic:         nic,
+		qp:          qp,
 		lineGbps:    nic.Prof.LinkGbps,
 		currentGbps: nic.Prof.LinkGbps,
 		targetGbps:  nic.Prof.LinkGbps,
 		alpha:       1,
+	}
+}
+
+// emitRate publishes the paced rate as a per-QP counter track.
+func (rp *rpState) emitRate() {
+	if h := rp.nic.Sim.Hub(); h.Active() {
+		h.EmitCounter(telemetry.KindDCQCNRate, rp.qp.track, "rate_mbps",
+			int64(rp.rate()*1000))
 	}
 }
 
@@ -64,6 +78,7 @@ func (rp *rpState) onCNP() {
 	rp.alpha = (1-p.G)*rp.alpha + p.G
 	rp.cnpSeen = true
 	rp.timerRounds, rp.byteRounds, rp.bytesSent = 0, 0, 0
+	rp.emitRate()
 	rp.armTimers()
 }
 
@@ -149,6 +164,7 @@ func (rp *rpState) increase() {
 		rp.currentGbps = rp.lineGbps
 		rp.stop()
 	}
+	rp.emitRate()
 }
 
 // stop cancels timers (QP teardown).

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/lumina-sim/lumina/internal/sim"
+	"github.com/lumina-sim/lumina/internal/telemetry"
 )
 
 // ETSQueueConfig describes one queue of the Enhanced Transmission
@@ -57,6 +58,7 @@ type txPkt struct {
 // etsQueue is the runtime state of one scheduler queue.
 type etsQueue struct {
 	cfg ETSQueueConfig
+	idx int // position in the ETS config, for telemetry
 	// qps holds the QPs assigned to this queue, served round-robin so a
 	// rate-limited QP cannot head-of-line block its neighbours.
 	qps []*QP
@@ -93,8 +95,8 @@ func newETSScheduler(nic *NIC, cfg ETSConfig) *etsScheduler {
 			weighted++
 		}
 	}
-	for _, qc := range cfg.Queues {
-		q := &etsQueue{cfg: qc}
+	for i, qc := range cfg.Queues {
+		q := &etsQueue{cfg: qc, idx: i}
 		// The guarantee clamp only manifests when bandwidth is actually
 		// partitioned across multiple weighted queues; a single queue
 		// owns the port.
@@ -151,6 +153,13 @@ func (s *etsScheduler) kick() {
 	qp.txq = qp.txq[1:]
 	s.pending--
 	size := pkt.size
+
+	if h := s.nic.Sim.Hub(); h.Active() {
+		h.EmitArgs(telemetry.KindETSPick, s.nic.Name+"/ets", "grant",
+			telemetry.I("queue", int64(q.idx)),
+			telemetry.I("qpn", int64(qp.QPN)),
+			telemetry.I("size", int64(size)))
+	}
 
 	// Port occupancy at line rate.
 	ser := sim.TransferTime(size, s.nic.Prof.LinkGbps)

@@ -6,6 +6,7 @@ import (
 
 	"github.com/lumina-sim/lumina/internal/packet"
 	"github.com/lumina-sim/lumina/internal/sim"
+	"github.com/lumina-sim/lumina/internal/telemetry"
 )
 
 // Settings are the runtime RoCE parameters from the host configuration
@@ -99,7 +100,14 @@ type NIC struct {
 	taps    []Tap
 	nextQPN uint32
 	nextRK  uint32
+
+	// lastCNPAt feeds the inter-CNP-gap histogram (telemetry only).
+	lastCNPAt sim.Time
+	anyCNP    bool
 }
+
+// hub returns the telemetry bus (nil-safe no-op when detached).
+func (n *NIC) hub() *telemetry.Hub { return n.Sim.Hub() }
 
 // Config bundles NIC construction parameters.
 type Config struct {
@@ -225,6 +233,14 @@ func (n *NIC) executeAtomic(op packet.Opcode, rkey uint32, addr uint64, swapAdd,
 func (n *NIC) transmit(wire []byte, qp *QP) {
 	n.Counters.Inc(CtrTxRoCEPackets)
 	n.Counters.Add(CtrTxRoCEBytes, uint64(len(wire)))
+	if h := n.hub(); h.Active() && qp != nil {
+		now := n.Sim.Now()
+		if qp.txSeen {
+			h.Observe("nic.tx_gap_ns", int64(now.Sub(qp.lastTxAt)))
+		}
+		qp.lastTxAt, qp.txSeen = now, true
+		h.Count("nic.tx_packets", 1)
+	}
 	for _, t := range n.taps {
 		t(TapTx, wire)
 	}
@@ -309,9 +325,23 @@ func (n *NIC) maybeSendCNP(pkt *packet.Packet) {
 	key := n.cnpScopeKey(pkt.IP.Src.String(), qp.remote.QPN)
 	now := n.Sim.Now()
 	if next, busy := n.cnpNextAllowed[key]; busy && now < next {
+		if h := n.hub(); h.Active() {
+			h.EmitArgs(telemetry.KindCNPGen, n.Name+"/cnp", "suppress",
+				telemetry.I("dest_qpn", int64(qp.remote.QPN)))
+			h.Count("cnp.suppressed", 1)
+		}
 		return // coalesced away by the rate limiter
 	}
 	n.cnpNextAllowed[key] = now.Add(n.minCNPInterval())
+	if h := n.hub(); h.Active() {
+		h.EmitArgs(telemetry.KindCNPGen, n.Name+"/cnp", "send",
+			telemetry.I("dest_qpn", int64(qp.remote.QPN)))
+		h.Count("cnp.sent", 1)
+		if n.anyCNP {
+			h.Observe("cnp.gap_ns", int64(now.Sub(n.lastCNPAt)))
+		}
+		n.lastCNPAt, n.anyCNP = now, true
+	}
 	if !n.Prof.BugCNPSentStuck {
 		n.Counters.Inc(CtrNpCnpSent)
 	}
@@ -350,6 +380,11 @@ func (n *NIC) slowPathEnter(d sim.Duration) {
 	if n.slowBusy > n.Prof.SlowPathContexts && now >= n.wedgeCooldownTill {
 		n.wedgedUntil = now.Add(n.Prof.WedgeDuration)
 		n.wedgeCooldownTill = n.wedgedUntil.Add(n.Prof.WedgeCooldown)
+		if h := n.hub(); h.Active() {
+			h.EmitSpan(telemetry.KindNICWedge, n.Name, "rx_wedged", int64(n.Prof.WedgeDuration),
+				telemetry.I("slow_busy", int64(n.slowBusy)))
+			h.Count("nic.wedges", 1)
+		}
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"github.com/lumina-sim/lumina/internal/packet"
 	"github.com/lumina-sim/lumina/internal/sim"
+	"github.com/lumina-sim/lumina/internal/telemetry"
 )
 
 // Verb is an RDMA operation type.
@@ -201,7 +202,17 @@ type QP struct {
 	txq         []txPkt
 	paceReadyAt sim.Time
 	rp          *rpState
+
+	// track is this QP's telemetry timeline row; lastTxAt feeds the
+	// per-QP inter-packet-gap histogram (both only consulted when a
+	// telemetry hub is attached).
+	track    string
+	lastTxAt sim.Time
+	txSeen   bool
 }
+
+// hub returns the telemetry bus (nil-receiver-safe no-op when detached).
+func (qp *QP) hub() *telemetry.Hub { return qp.nic.Sim.Hub() }
 
 // CreateQP allocates a QP with runtime-random QPN and initial PSN — the
 // property that forces Lumina's control-plane metadata exchange (§3.3).
@@ -241,10 +252,13 @@ func (n *NIC) CreateQP(cfg QPConfig) *QP {
 		qp.retryLimit = n.Prof.AdaptiveRetryMin + n.rng.Intn(span+1)
 	}
 	if n.Set.DCQCNRPEnable {
-		qp.rp = newRPState(n)
+		qp.rp = newRPState(qp)
 	}
 	n.qps[qpn] = qp
 	n.sched.register(qp)
+	qp.track = fmt.Sprintf("%s/qp-0x%06x", n.Name, qpn)
+	qp.hub().EmitArgs(telemetry.KindQPState, qp.track, "RESET",
+		telemetry.I("qpn", int64(qpn)), telemetry.I("ipsn", int64(qp.IPSN)))
 	return qp
 }
 
@@ -263,6 +277,8 @@ func (qp *QP) Connect(remote Endpoint) {
 	qp.nakArmed = true
 	qp.readNakArmed = true
 	qp.connected = true
+	qp.hub().EmitArgs(telemetry.KindQPState, qp.track, "RTS",
+		telemetry.I("remote_qpn", int64(remote.QPN)))
 }
 
 // Errored reports whether the QP entered the error state (retries
@@ -344,6 +360,8 @@ func (qp *QP) enqueue(size int, build func() []byte) {
 // rewind restarts transmission from psn (Go-back-N) and flushes packets
 // already queued but not yet on the wire.
 func (qp *QP) rewind(psn uint32) {
+	qp.hub().EmitArgs(telemetry.KindRetransGBN, qp.track, "rewind",
+		telemetry.I("psn", int64(psn)))
 	qp.nic.sched.flush(qp)
 	qp.sendPtr = psn
 	qp.pump()
@@ -585,6 +603,11 @@ func (qp *QP) onSequenceNak(nakPSN uint32) {
 		idx = int(psnSub(nakPSN, w.startPSN))
 	}
 	d := qp.nic.Prof.NACKReactWrite.At(idx, qp.nic.rng)
+	if h := qp.hub(); h.Active() {
+		h.EmitSpan(telemetry.KindRetransGBN, qp.track, "nack_react", int64(d),
+			telemetry.I("psn", int64(nakPSN)))
+		h.Observe("retrans.nack_react_ns", int64(d))
+	}
 	qp.nic.Sim.After(d, func() {
 		if qp.errored {
 			return
@@ -626,6 +649,11 @@ func (qp *QP) handleReadResponse(pkt *packet.Packet) {
 			idx = int(psnSub(qp.sndUna, w.startPSN))
 		}
 		d := qp.nic.Prof.NACKGenRead.At(idx, qp.nic.rng)
+		if h := qp.hub(); h.Active() {
+			h.EmitSpan(telemetry.KindRetransGBN, qp.track, "implied_nak", int64(d),
+				telemetry.I("from_psn", int64(qp.sndUna)))
+			h.Observe("retrans.read_gen_ns", int64(d))
+		}
 		// The read slow path occupies a shared hardware context for its
 		// duration — the resource whose exhaustion stalls CX4 Lx
 		// (§6.2.2).
@@ -761,6 +789,11 @@ func (qp *QP) handleRequest(pkt *packet.Packet) {
 		idx := int(psnSub(qp.ePSN, qp.msgStartPSN))
 		d := qp.nic.Prof.NACKGenWrite.At(idx, qp.nic.rng)
 		missing := qp.ePSN
+		if h := qp.hub(); h.Active() {
+			h.EmitSpan(telemetry.KindRetransGBN, qp.track, "nack_gen", int64(d),
+				telemetry.I("missing_psn", int64(missing)), telemetry.I("got_psn", int64(psn)))
+			h.Observe("retrans.nack_gen_ns", int64(d))
+		}
 		qp.nic.Sim.After(d, func() {
 			if qp.errored || qp.ePSN != missing {
 				return
@@ -1117,7 +1150,12 @@ func (qp *QP) armTimer() {
 	if qp.errored || !psnLT(qp.sndUna, qp.nextPSN) {
 		return
 	}
-	qp.rtoTimer = s.After(qp.rto(), qp.onTimeout)
+	rto := qp.rto()
+	if h := qp.hub(); h.Active() {
+		h.EmitArgs(telemetry.KindRetransTimer, qp.track, "arm",
+			telemetry.I("rto_ns", int64(rto)), telemetry.I("retry", int64(qp.retries)))
+	}
+	qp.rtoTimer = s.After(rto, qp.onTimeout)
 }
 
 func (qp *QP) onTimeout() {
@@ -1125,6 +1163,11 @@ func (qp *QP) onTimeout() {
 		return
 	}
 	qp.nic.Counters.Inc(CtrLocalAckTimeout)
+	if h := qp.hub(); h.Active() {
+		h.EmitArgs(telemetry.KindRetransTimer, qp.track, "fire",
+			telemetry.I("retry", int64(qp.retries)), telemetry.I("una_psn", int64(qp.sndUna)))
+		h.Observe("retrans.rto_ns", int64(qp.rto()))
+	}
 	qp.retries++
 	if qp.retries > qp.retryLimit {
 		qp.fatal(StatusRetryExceeded)
@@ -1148,6 +1191,8 @@ func (qp *QP) fatal(st CompletionStatus) {
 		return
 	}
 	qp.errored = true
+	qp.hub().EmitArgs(telemetry.KindQPState, qp.track, "ERROR",
+		telemetry.S("status", st.String()))
 	qp.nic.Counters.Inc(CtrRetryExceeded)
 	qp.nic.Sim.Cancel(qp.rtoTimer)
 	qp.nic.sched.flush(qp)

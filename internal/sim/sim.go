@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"math"
 	"time"
+
+	"github.com/lumina-sim/lumina/internal/telemetry"
 )
 
 // Time is a point in virtual time, in nanoseconds since simulation start.
@@ -118,6 +120,13 @@ type Simulator struct {
 	executed  uint64 // total events fired, for diagnostics
 	cancelled uint64
 	running   bool
+
+	// hub is the attached telemetry probe bus; nil (the default) means
+	// every probe emitted by components running on this simulator is a
+	// nil-check no-op. Telemetry is observe-only: it never schedules
+	// events or touches the RNG, so attaching it cannot perturb the
+	// simulated history.
+	hub *telemetry.Hub
 }
 
 // New creates a simulator whose RNG is seeded with seed. Two simulators
@@ -129,6 +138,19 @@ func New(seed int64) *Simulator {
 
 // Now returns the current virtual time.
 func (s *Simulator) Now() Time { return s.now }
+
+// AttachHub connects a telemetry hub to the simulation: components
+// reached through Hub() start recording probes stamped with this
+// simulator's virtual clock. Attaching nil detaches.
+func (s *Simulator) AttachHub(h *telemetry.Hub) {
+	s.hub = h
+	h.SetClock(func() int64 { return int64(s.now) })
+}
+
+// Hub returns the attached telemetry hub, nil when none is attached.
+// All *telemetry.Hub methods are nil-receiver no-ops, so callers emit
+// unconditionally: s.Hub().Emit(...).
+func (s *Simulator) Hub() *telemetry.Hub { return s.hub }
 
 // RNG returns the simulation's deterministic random number generator.
 func (s *Simulator) RNG() *RNG { return s.rng }

@@ -1,0 +1,204 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestNilHubIsNoOp(t *testing.T) {
+	var h *Hub
+	if h.Active() {
+		t.Fatal("nil hub reports active")
+	}
+	// None of these may panic or record anything.
+	h.Emit(KindQPState, "t", "RTS")
+	h.EmitArgs(KindRetransGBN, "t", "nak", I("psn", 5))
+	h.EmitSpan(KindNICWedge, "t", "wedge", 100)
+	h.EmitCounter(KindDCQCNRate, "t", "rate", 40)
+	h.Count("c", 1)
+	h.SetGauge("g", 2)
+	h.Observe("h", 3)
+	h.SetClock(func() int64 { return 7 })
+	if h.Events() != nil || h.Snapshot() != nil || h.Registry() != nil {
+		t.Fatal("nil hub returned non-nil state")
+	}
+}
+
+func TestHubStampsVirtualTime(t *testing.T) {
+	h := NewHub()
+	now := int64(0)
+	h.SetClock(func() int64 { return now })
+	h.Emit(KindQPState, "qp", "RESET")
+	now = 1500
+	h.EmitArgs(KindQPState, "qp", "RTS", I("qpn", 9))
+	evs := h.Events()
+	if len(evs) != 2 {
+		t.Fatalf("events = %d, want 2", len(evs))
+	}
+	if evs[0].At != 0 || evs[1].At != 1500 {
+		t.Fatalf("timestamps = %d, %d", evs[0].At, evs[1].At)
+	}
+	if evs[1].Args[0].Key != "qpn" || evs[1].Args[0].Val != 9 {
+		t.Fatalf("args = %+v", evs[1].Args)
+	}
+}
+
+func TestHistogramBucketsAreMonotoneAndCovering(t *testing.T) {
+	prev := -1
+	for v := int64(0); v < 1<<14; v++ {
+		i := bucketIndex(v)
+		if i < prev {
+			t.Fatalf("bucketIndex(%d) = %d < previous %d", v, i, prev)
+		}
+		if lo := bucketLow(i); lo > v {
+			t.Fatalf("bucketLow(%d) = %d > sample %d", i, lo, v)
+		}
+		if hi := bucketLow(i+1) - 1; hi < v {
+			t.Fatalf("bucket %d upper bound %d < sample %d", i, hi, v)
+		}
+		prev = i
+	}
+	// Spot-check large values, including MaxInt64 territory.
+	for _, v := range []int64{1 << 20, 1<<40 + 12345, 1<<62 + 99} {
+		i := bucketIndex(v)
+		if lo := bucketLow(i); lo > v {
+			t.Fatalf("bucketLow(%d)=%d > %d", i, lo, v)
+		}
+	}
+}
+
+func TestHistogramStatsAndQuantiles(t *testing.T) {
+	h := &Histogram{}
+	for v := int64(1); v <= 1000; v++ {
+		h.Record(v)
+	}
+	if h.Count() != 1000 || h.Sum() != 500500 {
+		t.Fatalf("count=%d sum=%d", h.Count(), h.Sum())
+	}
+	// Log-linear resolution is 1/2^subBits ≈ 6%: quantile bounds are
+	// bucket upper edges, so allow that slack above the exact value.
+	if q := h.Quantile(0.5); q < 500 || q > 532 {
+		t.Fatalf("p50 = %d, want ≈500 (+6%%)", q)
+	}
+	if q := h.Quantile(0.99); q < 990 || q > 1000 {
+		t.Fatalf("p99 = %d, want ≈990..1000", q)
+	}
+	if q := h.Quantile(0); q != 1 {
+		t.Fatalf("p0 = %d, want 1", q)
+	}
+	if q := h.Quantile(1); q != 1000 {
+		t.Fatalf("p100 = %d, want 1000 (clamped to max)", q)
+	}
+}
+
+func TestSnapshotDeterministicOrder(t *testing.T) {
+	build := func(seed int64) []byte {
+		r := NewRegistry()
+		rng := rand.New(rand.NewSource(seed))
+		names := []string{"zeta", "alpha", "mid.dle", "beta"}
+		// Touch metrics in random order; snapshot must not care.
+		for i := 0; i < 200; i++ {
+			n := names[rng.Intn(len(names))]
+			r.Counter("c." + n).Inc()
+			r.Histogram("h." + n).Record(int64(rng.Intn(5000)))
+			r.Gauge("g." + n).Set(int64(i))
+		}
+		js, err := json.Marshal(r.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return js
+	}
+	a, b := build(1), build(1)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same operations produced different snapshot bytes")
+	}
+	var snap MetricsSnapshot
+	if err := json.Unmarshal(a, &snap); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(snap.Counters); i++ {
+		if snap.Counters[i-1].Name >= snap.Counters[i].Name {
+			t.Fatal("counters not sorted by name")
+		}
+	}
+	if snap.Hist("h.alpha") == nil || snap.CounterValue("c.zeta") == 0 {
+		t.Fatal("lookup helpers failed")
+	}
+}
+
+func TestWriteTimelineIsValidJSONAndDeterministic(t *testing.T) {
+	mk := func() []Event {
+		h := NewHub()
+		now := int64(0)
+		h.SetClock(func() int64 { return now })
+		h.Emit(KindRunPhase, "orchestrator", "setup")
+		now = 1234
+		h.EmitArgs(KindQPState, "requester/qp-0x01", "RTS", I("qpn", 1), S("peer", "resp"))
+		now = 2000
+		h.EmitSpan(KindRetransTimer, "requester/qp-0x01", "rto", 67_108_864, I("retry", 0))
+		now = 2500
+		h.EmitCounter(KindDCQCNRate, "requester/qp-0x01", "rate_mbps", 40_000)
+		now = 3999
+		h.Emit(KindDumperDisc, "dumper-0", "ring_full")
+		return h.Events()
+	}
+
+	var a, b bytes.Buffer
+	if err := WriteTimeline(&a, mk()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTimeline(&b, mk()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("identical event streams serialized differently")
+	}
+
+	// Valid JSON with the Chrome trace-event shape.
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		Unit        string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(a.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, a.String())
+	}
+	if doc.Unit != "ns" {
+		t.Fatalf("displayTimeUnit = %q", doc.Unit)
+	}
+	// 3 metadata rows (tracks named in first-seen order) + 5 events.
+	if len(doc.TraceEvents) != 3+5 {
+		t.Fatalf("traceEvents = %d, want 8", len(doc.TraceEvents))
+	}
+	phases := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		phases[ev["ph"].(string)]++
+	}
+	if phases["M"] != 3 || phases["i"] != 3 || phases["X"] != 1 || phases["C"] != 1 {
+		t.Fatalf("phase mix = %v", phases)
+	}
+	// Timestamps are µs with three decimals: 1234 ns → "1.234".
+	if !strings.Contains(a.String(), `"ts":1.234`) {
+		t.Fatalf("expected exact µs timestamp in output:\n%s", a.String())
+	}
+	if !strings.Contains(a.String(), `"dur":67108.864`) {
+		t.Fatal("span duration not serialized in µs")
+	}
+}
+
+func TestWriteJSONStringEscapes(t *testing.T) {
+	var buf bytes.Buffer
+	bw := []Event{{At: 0, Kind: "k", Track: `t"\x` + "\n", Name: "n"}}
+	if err := WriteTimeline(&buf, bw); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("escaping broke JSON: %v\n%s", err, buf.String())
+	}
+}

@@ -1,0 +1,135 @@
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// WriteTimeline renders a probe stream as Chrome trace-event JSON (the
+// JSON Array Format with metadata, as consumed by Perfetto and
+// chrome://tracing). Each distinct Event.Track becomes one named thread
+// row; instants render as "i" events, spans as "X", counter samples as
+// "C" counter tracks.
+//
+// The writer is hand-rolled rather than encoding/json so the byte
+// output is fully specified: field order fixed, timestamps printed as
+// integer-nanosecond-derived microseconds with exactly three decimals.
+// Identical event streams serialize to identical bytes — the property
+// the determinism acceptance test pins down.
+func WriteTimeline(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("{\"traceEvents\":[")
+
+	// Track rows, in first-appearance order.
+	tids := map[string]int{}
+	order := []string{}
+	for i := range events {
+		t := events[i].Track
+		if _, ok := tids[t]; !ok {
+			tids[t] = len(order) + 1
+			order = append(order, t)
+		}
+	}
+	first := true
+	for _, t := range order {
+		writeSep(bw, &first)
+		bw.WriteString(`{"name":"thread_name","ph":"M","pid":1,"tid":`)
+		bw.WriteString(strconv.Itoa(tids[t]))
+		bw.WriteString(`,"args":{"name":`)
+		writeJSONString(bw, t)
+		bw.WriteString("}}")
+	}
+
+	for i := range events {
+		e := &events[i]
+		writeSep(bw, &first)
+		bw.WriteString(`{"name":`)
+		if e.Counter {
+			// Counter series are keyed by name across the whole process;
+			// prefix the track so each component gets its own series.
+			writeJSONString(bw, e.Track+" "+e.Name)
+		} else {
+			writeJSONString(bw, e.Name)
+		}
+		bw.WriteString(`,"cat":`)
+		writeJSONString(bw, string(e.Kind))
+		switch {
+		case e.Counter:
+			bw.WriteString(`,"ph":"C"`)
+		case e.Dur > 0:
+			bw.WriteString(`,"ph":"X","dur":`)
+			writeMicros(bw, e.Dur)
+		default:
+			bw.WriteString(`,"ph":"i","s":"t"`)
+		}
+		bw.WriteString(`,"ts":`)
+		writeMicros(bw, e.At)
+		bw.WriteString(`,"pid":1,"tid":`)
+		bw.WriteString(strconv.Itoa(tids[e.Track]))
+		if len(e.Args) > 0 {
+			bw.WriteString(`,"args":{`)
+			for j, a := range e.Args {
+				if j > 0 {
+					bw.WriteByte(',')
+				}
+				writeJSONString(bw, a.Key)
+				bw.WriteByte(':')
+				if a.Str != "" {
+					writeJSONString(bw, a.Str)
+				} else {
+					bw.WriteString(strconv.FormatInt(a.Val, 10))
+				}
+			}
+			bw.WriteByte('}')
+		}
+		bw.WriteByte('}')
+	}
+
+	bw.WriteString("],\"displayTimeUnit\":\"ns\"}\n")
+	return bw.Flush()
+}
+
+func writeSep(bw *bufio.Writer, first *bool) {
+	if *first {
+		*first = false
+		return
+	}
+	bw.WriteByte(',')
+}
+
+// writeMicros prints ns as microseconds with exactly three decimals
+// ("1234.567") — exact, float-free, and stable.
+func writeMicros(bw *bufio.Writer, ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	bw.WriteString(strconv.FormatInt(ns/1000, 10))
+	bw.WriteByte('.')
+	frac := ns % 1000
+	bw.WriteByte(byte('0' + frac/100))
+	bw.WriteByte(byte('0' + frac/10%10))
+	bw.WriteByte(byte('0' + frac%10))
+}
+
+// writeJSONString escapes and quotes s per JSON. Probe names are plain
+// ASCII identifiers in practice; the escaper handles the general case.
+func writeJSONString(bw *bufio.Writer, s string) {
+	bw.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			bw.WriteByte('\\')
+			bw.WriteByte(c)
+		case c < 0x20:
+			const hex = "0123456789abcdef"
+			bw.WriteString(`\u00`)
+			bw.WriteByte(hex[c>>4])
+			bw.WriteByte(hex[c&0xF])
+		default:
+			bw.WriteByte(c)
+		}
+	}
+	bw.WriteByte('"')
+}

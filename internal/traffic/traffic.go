@@ -17,6 +17,7 @@ import (
 	"github.com/lumina-sim/lumina/internal/injector"
 	"github.com/lumina-sim/lumina/internal/rnic"
 	"github.com/lumina-sim/lumina/internal/sim"
+	"github.com/lumina-sim/lumina/internal/telemetry"
 )
 
 // ConnStats aggregates one connection's application-level metrics — the
@@ -137,6 +138,7 @@ type conn struct {
 	posted        int
 	completed     int
 	done          bool
+	track         string // telemetry track, "traffic/conn-<idx>"
 }
 
 // Pair is a requester/responder generator pair bound to two NICs.
@@ -211,6 +213,7 @@ func NewPair(s *sim.Simulator, req, resp *rnic.NIC, cfg config.Traffic) (*Pair, 
 		sq.Connect(rq.Local())
 		mr := resp.RegisterMR(cfg.MessageSize * cfg.NumMsgsPerQP)
 		c := &conn{reqQP: rq, respQP: sq, mr: mr}
+		c.track = fmt.Sprintf("traffic/conn-%d", i)
 		c.stats = ConnStats{
 			Index: i, ReqQPN: rq.QPN, RespQPN: sq.QPN,
 			Statuses: map[string]int{},
@@ -301,6 +304,11 @@ func (p *Pair) postOne(c *conn) {
 		RemoteAddr: c.mr.Addr, RKey: c.mr.RKey,
 		OnComplete: func(comp rnic.Completion) { p.onCompletion(c, comp) },
 	}
+	if h := p.Sim.Hub(); h.Active() {
+		h.EmitArgs(telemetry.KindTrafficMsg, c.track, "post",
+			telemetry.I("wr_id", int64(idx)),
+			telemetry.S("verb", wr.Verb.String()))
+	}
 	if err := c.reqQP.PostSend(wr); err != nil {
 		// QP already failed: account the message as flushed.
 		p.onCompletion(c, rnic.Completion{
@@ -321,6 +329,14 @@ func (p *Pair) onCompletion(c *conn, comp rnic.Completion) {
 		st.Errored = true
 	}
 	st.LastComplete = comp.CompletedAt
+	if h := p.Sim.Hub(); h.Active() {
+		h.EmitArgs(telemetry.KindTrafficMsg, c.track, "complete",
+			telemetry.I("wr_id", int64(comp.WRID)),
+			telemetry.S("status", comp.Status.String()))
+		if comp.Status == rnic.StatusOK {
+			h.Observe("traffic.mct_ns", int64(comp.CompletedAt.Sub(comp.PostedAt)))
+		}
+	}
 
 	if c.completed >= p.Cfg.NumMsgsPerQP || c.reqQP.Errored() {
 		if !c.done {
@@ -385,4 +401,22 @@ func (p *Pair) Results() *Results {
 		return nil
 	}
 	return p.results
+}
+
+// Snapshot returns the report in its current state, even mid-run — the
+// partial per-connection stats a timed-out run still has. Returns nil
+// only when traffic was never started. The End time of an unfinished
+// snapshot is the current virtual time.
+func (p *Pair) Snapshot() *Results {
+	if p.results == nil {
+		return nil
+	}
+	if p.finished {
+		return p.results
+	}
+	out := &Results{Start: p.results.Start, End: p.Sim.Now()}
+	for _, c := range p.conns {
+		out.Conns = append(out.Conns, c.stats)
+	}
+	return out
 }

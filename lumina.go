@@ -24,12 +24,15 @@
 package lumina
 
 import (
+	"io"
+
 	"github.com/lumina-sim/lumina/internal/analyzer"
 	"github.com/lumina-sim/lumina/internal/config"
 	"github.com/lumina-sim/lumina/internal/fuzz"
 	"github.com/lumina-sim/lumina/internal/orchestrator"
 	"github.com/lumina-sim/lumina/internal/rnic"
 	"github.com/lumina-sim/lumina/internal/sim"
+	"github.com/lumina-sim/lumina/internal/telemetry"
 	"github.com/lumina-sim/lumina/internal/trace"
 )
 
@@ -53,6 +56,19 @@ type (
 	TraceEntry = trace.Entry
 	ConnKey    = trace.ConnKey
 )
+
+// Telemetry (Options.Telemetry: the probe bus, metrics registry, and
+// Perfetto-compatible timeline export).
+type (
+	Metrics        = telemetry.MetricsSnapshot
+	TelemetryEvent = telemetry.Event
+)
+
+// WriteTimeline renders a recorded probe stream (Report.Events) as
+// Chrome trace-event JSON, loadable in Perfetto / chrome://tracing.
+func WriteTimeline(w io.Writer, events []TelemetryEvent) error {
+	return telemetry.WriteTimeline(w, events)
+}
 
 // Analyzer types (§4's built-in test suite).
 type (
