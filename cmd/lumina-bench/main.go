@@ -9,15 +9,19 @@
 //	                              # cnp-scope|adaptive|dumper-lb|overhead|
 //	                              # ablation
 //	lumina-bench -msgs 200        # Figure 7 message count (default 1000)
+//	lumina-bench -run fig8 -json  # also write BENCH_fig8.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
+	"github.com/lumina-sim/lumina/internal/config"
 	"github.com/lumina-sim/lumina/internal/experiments"
 	"github.com/lumina-sim/lumina/internal/rnic"
 )
@@ -27,6 +31,8 @@ func main() {
 	msgs := flag.Int("msgs", 1000, "Figure 7: messages per size/variant")
 	lbRuns := flag.Int("lb-runs", 10, "dumper load-balancing: seeds per design")
 	format := flag.String("format", "table", "output format: table | csv")
+	jsonOut := flag.Bool("json", false, "also write BENCH_<name>.json per experiment (measured rows + wall time + seed)")
+	jsonDir := flag.String("json-dir", ".", "directory for -json output files")
 	flag.Parse()
 
 	render := func(t *experiments.Table) string { return t.Render() }
@@ -40,79 +46,136 @@ func main() {
 	}
 	want := func(name string) bool { return selected["all"] || selected[name] }
 	ran := 0
-	section := func(name string, fn func()) {
+	section := func(name string, fn func() []*experiments.Table) {
 		if !want(name) {
 			return
 		}
 		ran++
 		start := time.Now()
 		fmt.Printf("=== %s ===\n", name)
-		fn()
-		fmt.Printf("(%s took %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+		tables := fn()
+		for i, t := range tables {
+			if i > 0 {
+				fmt.Println()
+			}
+			fmt.Print(render(t))
+		}
+		wall := time.Since(start)
+		fmt.Printf("(%s took %v)\n\n", name, wall.Round(time.Millisecond))
+		if *jsonOut && len(tables) > 0 {
+			writeBenchJSON(*jsonDir, name, tables, wall)
+		}
 	}
 
-	section("fig7", func() {
+	section("fig7", func() []*experiments.Table {
 		pts := experiments.Figure7(*msgs)
-		fmt.Print(render(experiments.Figure7Table(pts)))
+		return []*experiments.Table{experiments.Figure7Table(pts)}
 	})
-	section("fig8", func() {
+	section("fig8", func() []*experiments.Table {
 		pts := experiments.Figures8And9(nil, nil)
-		fmt.Print(render(experiments.Figure8Table(pts)))
-		fmt.Println()
-		fmt.Print(render(experiments.Figure9Table(pts)))
+		return []*experiments.Table{experiments.Figure8Table(pts), experiments.Figure9Table(pts)}
 	})
-	section("fig9", func() {
+	section("fig9", func() []*experiments.Table {
 		if want("fig8") && (selected["all"] || len(selected) > 1) {
-			return // already printed with fig8
+			return nil // already printed with fig8
 		}
 		pts := experiments.Figures8And9(nil, nil)
-		fmt.Print(render(experiments.Figure9Table(pts)))
+		return []*experiments.Table{experiments.Figure9Table(pts)}
 	})
-	section("fig10", func() {
+	section("fig10", func() []*experiments.Table {
 		var pts []experiments.Figure10Point
 		for _, model := range []string{rnic.ModelCX6, rnic.ModelSpec} {
 			pts = append(pts, experiments.Figure10(model)...)
 		}
-		fmt.Print(render(experiments.Figure10Table(pts)))
+		return []*experiments.Table{experiments.Figure10Table(pts)}
 	})
-	section("fig11", func() {
+	section("fig11", func() []*experiments.Table {
 		pts := experiments.Figure11(rnic.ModelCX4, nil)
-		fmt.Print(render(experiments.Figure11Table(pts)))
+		return []*experiments.Table{experiments.Figure11Table(pts)}
 	})
-	section("interop", func() {
+	section("interop", func() []*experiments.Table {
 		pts := experiments.Interop(nil, false)
 		pts = append(pts, experiments.Interop([]int{16}, true)...)
-		fmt.Print(render(experiments.InteropTable(pts)))
+		return []*experiments.Table{experiments.InteropTable(pts)}
 	})
-	section("cnp-interval", func() {
-		fmt.Print(render(experiments.CNPIntervalTable(experiments.CNPIntervals(nil))))
+	section("cnp-interval", func() []*experiments.Table {
+		return []*experiments.Table{experiments.CNPIntervalTable(experiments.CNPIntervals(nil))}
 	})
-	section("cnp-scope", func() {
-		fmt.Print(render(experiments.CNPScopeTable(experiments.CNPScopes(nil))))
+	section("cnp-scope", func() []*experiments.Table {
+		return []*experiments.Table{experiments.CNPScopeTable(experiments.CNPScopes(nil))}
 	})
-	section("adaptive", func() {
+	section("adaptive", func() []*experiments.Table {
 		var pts []experiments.AdaptiveRetransPoint
 		pts = append(pts, experiments.AdaptiveRetrans(rnic.ModelCX6, true, 7)...)
 		pts = append(pts, experiments.AdaptiveRetrans(rnic.ModelCX6, false, 3)...)
-		fmt.Print(render(experiments.AdaptiveRetransTable(pts)))
+		return []*experiments.Table{experiments.AdaptiveRetransTable(pts)}
 	})
-	section("dumper-lb", func() {
-		fmt.Print(render(experiments.DumperLBTable(experiments.DumperLB(*lbRuns))))
+	section("dumper-lb", func() []*experiments.Table {
+		return []*experiments.Table{experiments.DumperLBTable(experiments.DumperLB(*lbRuns))}
 	})
-	section("overhead", func() {
+	section("overhead", func() []*experiments.Table {
 		p := experiments.SwitchOverhead()
-		fmt.Printf("switch pipeline one-way added latency: %.3fµs (configured %dns; paper reports <0.4µs)\n",
-			float64(p.OneWayExtra)/1000, p.PipelineNs)
+		return []*experiments.Table{{
+			Title:   "Switch pipeline overhead (paper reports <0.4µs one-way)",
+			Columns: []string{"one_way_extra_us", "configured_ns"},
+			Rows: [][]string{{
+				fmt.Sprintf("%.3f", float64(p.OneWayExtra)/1000),
+				fmt.Sprintf("%d", p.PipelineNs),
+			}},
+		}}
 	})
-	section("table2", func() {
-		fmt.Print(render(experiments.Table2()))
+	section("table2", func() []*experiments.Table {
+		return []*experiments.Table{experiments.Table2()}
 	})
-	section("ablation", func() {
-		fmt.Print(render(experiments.AblationTable(experiments.AblationAll())))
+	section("ablation", func() []*experiments.Table {
+		return []*experiments.Table{experiments.AblationTable(experiments.AblationAll())}
 	})
 
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "no experiment matches %q\n", *runSel)
 		os.Exit(2)
 	}
+}
+
+// benchTable is the serialized form of one result table.
+type benchTable struct {
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+}
+
+// benchResult is the BENCH_<name>.json schema: the measured rows plus
+// the provenance a trajectory tracker needs (wall time, seed).
+type benchResult struct {
+	Name   string       `json:"name"`
+	Seed   int64        `json:"seed"`
+	WallMs float64      `json:"wall_ms"`
+	Tables []benchTable `json:"tables"`
+}
+
+func writeBenchJSON(dir, name string, tables []*experiments.Table, wall time.Duration) {
+	out := benchResult{
+		Name: name,
+		// Experiments derive every run from config.Default; its seed is
+		// the one knob that would change the measured rows.
+		Seed:   config.Default().Seed,
+		WallMs: float64(wall.Microseconds()) / 1000,
+	}
+	for _, t := range tables {
+		out.Tables = append(out.Tables, benchTable{Title: t.Title, Columns: t.Columns, Rows: t.Rows})
+	}
+	js, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	path := filepath.Join(dir, "BENCH_"+name+".json")
+	if err := os.WriteFile(path, append(js, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n\n", path)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lumina-bench:", err)
+	os.Exit(1)
 }

@@ -7,27 +7,46 @@
 // trace-event JSON (one track per connection direction), loadable in
 // Perfetto or chrome://tracing.
 //
+// The explain subcommand prints the causal story of an injected event:
+// which packet it hit and the NACK/rewind/CNP/retransmission chain it
+// provoked, with virtual-time latencies on every step. It reads
+// summary.json (written by `lumina -out`) when available — that carries
+// the endpoint-internal nodes only probes can see — and falls back to
+// rebuilding wire-visible chains from the pcap alone.
+//
 // Usage:
 //
 //	lumina-trace -pcap results/trace.pcap [-n 50] [-analyze]
 //	lumina-trace timeline -pcap results/trace.pcap -out timeline.json
+//	lumina-trace explain -run results -qp 0x1a2b3c -psn 5
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strconv"
 
 	"github.com/lumina-sim/lumina/internal/analyzer"
 	"github.com/lumina-sim/lumina/internal/dumper"
+	"github.com/lumina-sim/lumina/internal/lineage"
+	"github.com/lumina-sim/lumina/internal/orchestrator"
 	"github.com/lumina-sim/lumina/internal/telemetry"
 	"github.com/lumina-sim/lumina/internal/trace"
 )
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "timeline" {
-		timelineCmd(os.Args[2:])
-		return
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "timeline":
+			timelineCmd(os.Args[2:])
+			return
+		case "explain":
+			explainCmd(os.Args[2:])
+			return
+		}
 	}
 
 	pcapPath := flag.String("pcap", "", "pcap file written by the orchestrator")
@@ -139,6 +158,9 @@ func timelineCmd(argv []string) {
 	}
 
 	tr := loadTrace(*pcapPath)
+	if len(tr.Entries) == 0 {
+		fatal(fmt.Errorf("%s holds no packets; refusing to write an empty timeline", *pcapPath))
+	}
 	iters := analyzer.ReconstructITER(tr)
 
 	events := make([]telemetry.Event, 0, len(tr.Entries))
@@ -164,21 +186,130 @@ func timelineCmd(argv []string) {
 		})
 	}
 
-	out := os.Stdout
-	if *outPath != "" {
-		f, err := os.Create(*outPath)
+	if *outPath == "" {
+		if err := telemetry.WriteTimeline(os.Stdout, events); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	// Write via a temp file + rename so a failure mid-write (or the
+	// truncated-pcap fatals above) can never leave a partial timeline
+	// at the destination path.
+	tmp := *outPath + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		fatal(err)
+	}
+	if err := telemetry.WriteTimeline(f, events); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		fatal(err)
+	}
+	if err := os.Rename(tmp, *outPath); err != nil {
+		os.Remove(tmp)
+		fatal(err)
+	}
+	fmt.Printf("timeline (%d packets) written to %s\n", len(events), *outPath)
+}
+
+// explainCmd prints the causal chains lineage reconstruction found,
+// optionally narrowed to one packet by QPN and PSN.
+func explainCmd(argv []string) {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	runDir := fs.String("run", "", "artifact directory from `lumina -out` (summary.json preferred, trace.pcap fallback)")
+	sumPath := fs.String("summary", "", "summary.json to read chains from")
+	pcapPath := fs.String("pcap", "", "pcap to rebuild wire-visible chains from")
+	qpStr := fs.String("qp", "", "QPN to match, hex (0x…) or decimal; either side of the connection")
+	psn := fs.Int("psn", -1, "PSN to match (-1 = every chain)")
+	fs.Parse(argv)
+
+	if *runDir != "" {
+		if s := filepath.Join(*runDir, "summary.json"); *sumPath == "" && fileExists(s) {
+			*sumPath = s
+		} else if p := filepath.Join(*runDir, "trace.pcap"); *pcapPath == "" {
+			*pcapPath = p
+		}
+	}
+	if *sumPath == "" && *pcapPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: lumina-trace explain (-run dir | -summary summary.json | -pcap trace.pcap) [-qp N] [-psn M]")
+		os.Exit(2)
+	}
+
+	var qpn uint32
+	if *qpStr != "" {
+		v, err := strconv.ParseUint(*qpStr, 0, 32)
+		if err != nil {
+			fatal(fmt.Errorf("bad -qp %q: %v", *qpStr, err))
+		}
+		qpn = uint32(v)
+	}
+
+	var items []lineage.ChainItem
+	if *sumPath != "" {
+		js, err := os.ReadFile(*sumPath)
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
-		out = f
+		var sum orchestrator.Summary
+		if err := json.Unmarshal(js, &sum); err != nil {
+			fatal(fmt.Errorf("%s: %v", *sumPath, err))
+		}
+		if sum.Chains != nil {
+			items = sum.Chains.Items
+		}
+	} else {
+		// Wire-only fallback: the pcap carries no probe stream, so the
+		// chains lack endpoint-internal nodes (rewind, completion).
+		items = lineage.Build(loadTrace(*pcapPath), nil).Summarize().Items
 	}
-	if err := telemetry.WriteTimeline(out, events); err != nil {
-		fatal(err)
+
+	matched := 0
+	for i := range items {
+		it := &items[i]
+		if *psn >= 0 && it.PSN != uint32(*psn) {
+			continue
+		}
+		if qpn != 0 && !connMatches(it, qpn) {
+			continue
+		}
+		if matched > 0 {
+			fmt.Println()
+		}
+		fmt.Print(it.Story())
+		matched++
 	}
-	if *outPath != "" {
-		fmt.Printf("timeline (%d packets) written to %s\n", len(events), *outPath)
+	if matched == 0 {
+		if *psn >= 0 || qpn != 0 {
+			fatal(fmt.Errorf("no causal chain matches qp=%s psn=%d (%d chain(s) in the run)",
+				orAny(*qpStr), *psn, len(items)))
+		}
+		fmt.Println("no injected events in this run: nothing to explain")
 	}
+}
+
+func connMatches(it *lineage.ChainItem, qpn uint32) bool {
+	if it.ActorQPN == qpn {
+		return true
+	}
+	// The serialized conn string ends in "/qp-0x%06x" (the DestQP of the
+	// packet the event hit).
+	return len(it.Conn) > 8 && it.Conn[len(it.Conn)-6:] == fmt.Sprintf("%06x", qpn)
+}
+
+func orAny(s string) string {
+	if s == "" {
+		return "any"
+	}
+	return s
+}
+
+func fileExists(path string) bool {
+	st, err := os.Stat(path)
+	return err == nil && !st.IsDir()
 }
 
 func fatal(err error) {

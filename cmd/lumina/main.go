@@ -1,6 +1,7 @@
 // Command lumina runs one Lumina test from a yamlite configuration file
-// (the paper's Listings 1–2 schema), prints a summary, and optionally
-// writes the collected artifacts (report.json, trace.pcap) to a
+// (the paper's Listings 1–2 schema), prints a summary with analyzer
+// verdicts, and optionally writes the collected artifacts (report.json,
+// trace.pcap, metrics.json, timeline.json, summary.json) to a
 // directory.
 //
 // Usage:
@@ -37,8 +38,12 @@ func main() {
 		fatal(err)
 	}
 	rep, err := lumina.RunWithOptions(cfg, lumina.Options{
-		Deadline:  sim.Duration(*deadline) * sim.Second,
-		Telemetry: *timeline != "" || *metrics != "",
+		Deadline: sim.Duration(*deadline) * sim.Second,
+		// -out implies telemetry so the artifact directory always gets
+		// the full set (timeline, metrics, summary with probe-backed
+		// lineage chains).
+		Telemetry: *timeline != "" || *metrics != "" || *outDir != "",
+		Lineage:   true,
 	})
 	if err != nil {
 		fatal(err)
@@ -107,6 +112,23 @@ func main() {
 		for _, i := range inc {
 			fmt.Printf("counter INCONSISTENCY: %s\n", i)
 		}
+		if len(rep.Verdicts) > 0 {
+			fmt.Println("\n--- verdicts ---")
+			for _, v := range rep.Verdicts {
+				result := "PASS"
+				if !v.Pass {
+					result = "FAIL"
+				}
+				fmt.Printf("%-8s %s  %s", v.Analyzer, result, v.Reason)
+				if len(v.Chains) > 0 {
+					fmt.Printf("  [lineage %s]", joinIDs(v.Chains))
+				}
+				fmt.Println()
+			}
+			if n := len(rep.Lineage.Chains); n > 0 && *outDir != "" {
+				fmt.Printf("%d causal chain(s); inspect one with: lumina-trace explain -run %s -psn <psn>\n", n, *outDir)
+			}
+		}
 	}
 
 	if *timeline != "" {
@@ -145,6 +167,17 @@ func writeMetrics(path string, m *lumina.Metrics) error {
 		return err
 	}
 	return os.WriteFile(path, append(js, '\n'), 0o644)
+}
+
+func joinIDs(ids []uint64) string {
+	s := ""
+	for i, id := range ids {
+		if i > 0 {
+			s += ","
+		}
+		s += fmt.Sprintf("%d", id)
+	}
+	return s
 }
 
 func statusSummary(st map[string]int) string {

@@ -1,9 +1,10 @@
-package analyzer
+package analyzer_test
 
 import (
 	"net/netip"
 	"testing"
 
+	"github.com/lumina-sim/lumina/internal/analyzer"
 	"github.com/lumina-sim/lumina/internal/config"
 	"github.com/lumina-sim/lumina/internal/orchestrator"
 	"github.com/lumina-sim/lumina/internal/packet"
@@ -60,7 +61,7 @@ func TestGBNCleanSequencePasses(t *testing.T) {
 	for psn := uint32(100); psn < 110; psn++ {
 		b.add(writePkt(psn, packet.OpWriteMiddle), packet.EventNone)
 	}
-	rep := CheckGoBackN(b.build())
+	rep := analyzer.CheckGoBackN(b.build())
 	if !rep.OK() {
 		t.Fatalf("violations on clean sequence: %v", rep.Violations)
 	}
@@ -78,7 +79,7 @@ func TestGBNCorrectRecoveryPasses(t *testing.T) {
 	b.add(writePkt(101, packet.OpWriteMiddle), packet.EventNone) // retransmit from gap
 	b.add(writePkt(102, packet.OpWriteMiddle), packet.EventNone)
 	b.add(writePkt(103, packet.OpWriteLast), packet.EventNone)
-	rep := CheckGoBackN(b.build())
+	rep := analyzer.CheckGoBackN(b.build())
 	if !rep.OK() {
 		t.Fatalf("correct recovery flagged: %v", rep.Violations)
 	}
@@ -93,7 +94,7 @@ func TestGBNFlagsWrongNakPSN(t *testing.T) {
 	b.add(writePkt(101, packet.OpWriteMiddle), packet.EventDrop)
 	b.add(writePkt(102, packet.OpWriteMiddle), packet.EventNone)
 	b.add(nakPkt(102), packet.EventNone) // wrong: first missing is 101
-	rep := CheckGoBackN(b.build())
+	rep := analyzer.CheckGoBackN(b.build())
 	if rep.OK() {
 		t.Fatal("wrong NAK PSN not flagged")
 	}
@@ -104,7 +105,7 @@ func TestGBNFlagsSpuriousNak(t *testing.T) {
 	b.add(writePkt(100, packet.OpWriteFirst), packet.EventNone)
 	b.add(writePkt(101, packet.OpWriteMiddle), packet.EventNone)
 	b.add(nakPkt(101), packet.EventNone) // no gap exists
-	rep := CheckGoBackN(b.build())
+	rep := analyzer.CheckGoBackN(b.build())
 	if rep.OK() {
 		t.Fatal("spurious NAK not flagged")
 	}
@@ -117,7 +118,7 @@ func TestGBNFlagsRepeatedNak(t *testing.T) {
 	b.add(writePkt(102, packet.OpWriteMiddle), packet.EventNone)
 	b.add(nakPkt(101), packet.EventNone)
 	b.add(nakPkt(101), packet.EventNone) // spec forbids repeating
-	rep := CheckGoBackN(b.build())
+	rep := analyzer.CheckGoBackN(b.build())
 	if rep.OK() {
 		t.Fatal("repeated NAK not flagged")
 	}
@@ -128,7 +129,7 @@ func TestGBNDuplicateDataAllowed(t *testing.T) {
 	b.add(writePkt(100, packet.OpWriteFirst), packet.EventNone)
 	b.add(writePkt(101, packet.OpWriteMiddle), packet.EventNone)
 	b.add(writePkt(100, packet.OpWriteFirst), packet.EventNone) // duplicate
-	rep := CheckGoBackN(b.build())
+	rep := analyzer.CheckGoBackN(b.build())
 	if !rep.OK() {
 		t.Fatalf("duplicate data flagged: %v", rep.Violations)
 	}
@@ -175,7 +176,7 @@ func TestGBNPassesOnRealRunsAllProfiles(t *testing.T) {
 					{QPN: 1, PSN: 20, Type: "drop", Iter: 1},
 				}
 			})
-			gbn := CheckGoBackN(rep.Trace)
+			gbn := analyzer.CheckGoBackN(rep.Trace)
 			if !gbn.OK() {
 				t.Errorf("%s/%s: GBN violations: %v", model, verb, gbn.Violations)
 			}
@@ -194,7 +195,7 @@ func TestRetransAnalyzerMeasuresWriteBreakdown(t *testing.T) {
 		c.Traffic.NumMsgsPerQP = 1
 		c.Traffic.Events = []config.Event{{QPN: 1, PSN: 40, Type: "drop", Iter: 1}}
 	})
-	evs := AnalyzeRetransmissions(rep.Trace)
+	evs := analyzer.AnalyzeRetransmissions(rep.Trace)
 	if len(evs) != 1 {
 		t.Fatalf("retrans events = %d", len(evs))
 	}
@@ -226,7 +227,7 @@ func TestRetransAnalyzerReadPath(t *testing.T) {
 		c.Traffic.NumMsgsPerQP = 1
 		c.Traffic.Events = []config.Event{{QPN: 1, PSN: 40, Type: "drop", Iter: 1}}
 	})
-	evs := AnalyzeRetransmissions(rep.Trace)
+	evs := analyzer.AnalyzeRetransmissions(rep.Trace)
 	if len(evs) != 1 {
 		t.Fatalf("retrans events = %d", len(evs))
 	}
@@ -245,7 +246,7 @@ func TestRetransAnalyzerTailDropTimeout(t *testing.T) {
 		c.Traffic.MinRetransmitTimeout = 10
 		c.Traffic.Events = []config.Event{{QPN: 1, PSN: 10, Type: "drop", Iter: 1}} // last packet
 	})
-	evs := AnalyzeRetransmissions(rep.Trace)
+	evs := analyzer.AnalyzeRetransmissions(rep.Trace)
 	if len(evs) != 1 {
 		t.Fatalf("events = %d", len(evs))
 	}
@@ -264,7 +265,7 @@ func TestCNPAnalyzerCountsAndOrphans(t *testing.T) {
 		c.Responder.RoCE.MinTimeBetweenCNPs = 4
 		c.Traffic.Events = []config.Event{{QPN: 1, PSN: 1, Type: "ecn", Iter: 1, Every: 10}}
 	})
-	cr := AnalyzeCNP(rep.Trace)
+	cr := analyzer.AnalyzeCNP(rep.Trace)
 	if cr.TotalCNPs() == 0 {
 		t.Fatal("no CNPs found")
 	}
@@ -291,7 +292,7 @@ func TestCNPAnalyzerDetectsOrphan(t *testing.T) {
 		BTH: packet.BTH{Opcode: packet.OpCNP, DestQP: 0x11},
 	}
 	b.add(cnp, packet.EventNone)
-	cr := AnalyzeCNP(b.build())
+	cr := analyzer.AnalyzeCNP(b.build())
 	if cr.Orphans != 1 {
 		t.Fatalf("orphans = %d, want 1", cr.Orphans)
 	}
@@ -299,7 +300,7 @@ func TestCNPAnalyzerDetectsOrphan(t *testing.T) {
 
 func TestCounterAnalyzerCleanRun(t *testing.T) {
 	rep := e2e(t, nil)
-	inc := CheckCounters(rep.Trace,
+	inc := analyzer.CheckCounters(rep.Trace,
 		hostView("requester", rep.Config.Requester, rep.RequesterCounters),
 		hostView("responder", rep.Config.Responder, rep.ResponderCounters),
 	)
@@ -315,7 +316,7 @@ func TestCounterAnalyzerFindsE810CnpBug(t *testing.T) {
 		c.Traffic.MessageSize = 102400
 		c.Traffic.Events = []config.Event{{QPN: 1, PSN: 1, Type: "ecn", Iter: 1, Every: 5}}
 	})
-	inc := CheckCounters(rep.Trace,
+	inc := analyzer.CheckCounters(rep.Trace,
 		hostView("responder", rep.Config.Responder, rep.ResponderCounters),
 	)
 	found := false
@@ -338,7 +339,7 @@ func TestCounterAnalyzerFindsCX4ImpliedNakBug(t *testing.T) {
 		c.Traffic.NumMsgsPerQP = 1
 		c.Traffic.Events = []config.Event{{QPN: 1, PSN: 40, Type: "drop", Iter: 1}}
 	})
-	inc := CheckCounters(rep.Trace,
+	inc := analyzer.CheckCounters(rep.Trace,
 		hostView("requester", rep.Config.Requester, rep.RequesterCounters),
 	)
 	found := false
@@ -363,7 +364,7 @@ func TestCounterAnalyzerCX5ReadIsClean(t *testing.T) {
 		c.Traffic.NumMsgsPerQP = 1
 		c.Traffic.Events = []config.Event{{QPN: 1, PSN: 40, Type: "drop", Iter: 1}}
 	})
-	inc := CheckCounters(rep.Trace,
+	inc := analyzer.CheckCounters(rep.Trace,
 		hostView("requester", rep.Config.Requester, rep.RequesterCounters),
 	)
 	for _, i := range inc {
@@ -374,17 +375,17 @@ func TestCounterAnalyzerCX5ReadIsClean(t *testing.T) {
 }
 
 func TestStats(t *testing.T) {
-	st := Stats([]sim.Duration{0, 10, 20, 30})
+	st := analyzer.Stats([]sim.Duration{0, 10, 20, 30})
 	if st.N != 3 || st.Min != 10 || st.Max != 30 || st.Mean != 20 {
 		t.Fatalf("stats = %+v", st)
 	}
-	if z := Stats(nil); z.N != 0 || z.Mean != 0 {
+	if z := analyzer.Stats(nil); z.N != 0 || z.Mean != 0 {
 		t.Fatalf("empty stats = %+v", z)
 	}
 }
 
-func hostView(name string, h config.Host, ctr map[string]uint64) HostView {
-	v := HostView{Name: name, Counters: ctr}
+func hostView(name string, h config.Host, ctr map[string]uint64) analyzer.HostView {
+	v := analyzer.HostView{Name: name, Counters: ctr}
 	for _, ip := range h.NIC.IPList {
 		v.IPs = append(v.IPs, ip.String())
 	}
@@ -399,7 +400,7 @@ func TestReconstructITERMatchesFigure3(t *testing.T) {
 		b.add(writePkt(psn, packet.OpWriteMiddle), packet.EventNone)
 	}
 	b.add(nakPkt(2), packet.EventNone) // non-data: ITER 0
-	iters := ReconstructITER(b.build())
+	iters := analyzer.ReconstructITER(b.build())
 	want := []uint32{1, 1, 1, 1, 2, 2, 2, 3, 3, 0}
 	for i := range want {
 		if iters[i] != want[i] {
@@ -413,7 +414,7 @@ func TestRetransmissionStats(t *testing.T) {
 	for _, psn := range []uint32{1, 2, 3, 2, 3} {
 		b.add(writePkt(psn, packet.OpWriteMiddle), packet.EventNone)
 	}
-	stats := RetransmissionStats(b.build())
+	stats := analyzer.RetransmissionStats(b.build())
 	if len(stats) != 1 {
 		t.Fatalf("stats = %+v", stats)
 	}
@@ -437,7 +438,7 @@ func TestReconstructITERMatchesInjectorOnRealRun(t *testing.T) {
 			{QPN: 1, PSN: 5, Type: "ecn", Iter: 2}, // marks the retransmission
 		}
 	})
-	iters := ReconstructITER(rep.Trace)
+	iters := analyzer.ReconstructITER(rep.Trace)
 	for i := range rep.Trace.Entries {
 		e := &rep.Trace.Entries[i]
 		if e.Meta.Event == packet.EventECN {

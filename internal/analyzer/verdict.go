@@ -1,0 +1,80 @@
+package analyzer
+
+import (
+	"fmt"
+
+	"github.com/lumina-sim/lumina/internal/lineage"
+	"github.com/lumina-sim/lumina/internal/packet"
+	"github.com/lumina-sim/lumina/internal/trace"
+)
+
+// Verdict is one analyzer's pass/fail judgement over a run, citing the
+// exact causal chains (lineage IDs) it judged so a failure can be
+// replayed with `lumina-trace explain`.
+type Verdict struct {
+	Analyzer string   `json:"analyzer"`
+	Pass     bool     `json:"pass"`
+	Reason   string   `json:"reason"`
+	Chains   []uint64 `json:"chains,omitempty"`
+}
+
+// Verdicts runs the trace analyzers and renders their findings as
+// verdicts. g supplies the causal chains each verdict cites; it may be
+// nil (verdicts then carry no chain references).
+func Verdicts(tr *trace.Trace, g *lineage.Graph) []Verdict {
+	if tr == nil {
+		return nil
+	}
+	chainsOf := func(events ...packet.EventType) []uint64 {
+		if g == nil {
+			return nil
+		}
+		return g.ChainsOf(events...)
+	}
+	var out []Verdict
+
+	gbn := CheckGoBackN(tr)
+	v := Verdict{
+		Analyzer: "gbn", Pass: gbn.OK(),
+		Chains: chainsOf(packet.EventDrop, packet.EventCorrupt,
+			packet.EventDelay, packet.EventReorder),
+	}
+	if gbn.OK() {
+		v.Reason = fmt.Sprintf("%d connection-direction(s) replayed, no violations",
+			gbn.ConnsChecked)
+	} else {
+		v.Reason = fmt.Sprintf("%d violation(s); first: %s",
+			len(gbn.Violations), gbn.Violations[0])
+	}
+	out = append(out, v)
+
+	retrans := AnalyzeRetransmissions(tr)
+	recovered, timeouts := 0, 0
+	for i := range retrans {
+		if retrans[i].RetransTime != 0 {
+			recovered++
+		}
+		if retrans[i].Timeout {
+			timeouts++
+		}
+	}
+	out = append(out, Verdict{
+		Analyzer: "retrans", Pass: recovered == len(retrans),
+		Reason: fmt.Sprintf("%d drop(s): %d recovered (%d by timeout), %d unrecovered",
+			len(retrans), recovered, timeouts, len(retrans)-recovered),
+		Chains: chainsOf(packet.EventDrop),
+	})
+
+	cnp := AnalyzeCNP(tr)
+	marked := 0
+	for _, n := range cnp.ECNMarked {
+		marked += n
+	}
+	out = append(out, Verdict{
+		Analyzer: "cnp", Pass: cnp.Orphans == 0,
+		Reason: fmt.Sprintf("%d CE-marked packet(s), %d CNP(s), %d orphan(s)",
+			marked, cnp.TotalCNPs(), cnp.Orphans),
+		Chains: chainsOf(packet.EventECN),
+	})
+	return out
+}

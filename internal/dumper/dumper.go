@@ -133,9 +133,16 @@ func (n *Node) receive(wire []byte) {
 	done := start.Add(sim.TransferTime(len(wire), n.Cfg.PerCoreGbps))
 	c.busyTil = done
 	if h := n.Sim.Hub(); h.Active() {
-		h.EmitArgs(telemetry.KindDumperEnq, n.track, "enqueue",
+		// seq threads the packet's lineage ID (its mirror sequence
+		// number) through the capture path for causal joins.
+		args := []telemetry.Field{
 			telemetry.I("core", int64(ci)),
-			telemetry.I("depth", int64(c.queued)))
+			telemetry.I("depth", int64(c.queued)),
+		}
+		if m, ok := packet.ExtractMirrorMeta(wire); ok {
+			args = append(args, telemetry.I("seq", int64(m.Seq)))
+		}
+		h.EmitArgs(telemetry.KindDumperEnq, n.track, "enqueue", args...)
 		h.EmitCounter(telemetry.KindDumperQueue, n.track, "ring_occupancy",
 			int64(n.queued))
 		h.Count("dumper.rx", 1)

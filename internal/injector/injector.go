@@ -251,11 +251,16 @@ func (sw *Switch) ingress(portIdx int, wire []byte) {
 			if rule = sw.lookupRule(&pkt, iter); rule != nil {
 				ev = rule.Action
 				if h := sw.Sim.Hub(); h.Active() {
+					// lineage = the mirror sequence number the imminent
+					// ingress mirror stamps on this packet (mirrorSeq is
+					// incremented just before embedding), i.e. the ID the
+					// lineage package keys causal chains on.
 					h.EmitArgs(telemetry.KindInjectHit,
 						fmt.Sprintf("switch/port-%d", portIdx), ev.String(),
 						telemetry.I("psn", int64(pkt.BTH.PSN)),
 						telemetry.I("qpn", int64(pkt.BTH.DestQP)),
-						telemetry.I("iter", int64(iter)))
+						telemetry.I("iter", int64(iter)),
+						telemetry.I("lineage", int64(sw.mirrorSeq+1)))
 					h.Count("inject.hits", 1)
 				}
 			}

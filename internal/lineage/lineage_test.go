@@ -1,0 +1,204 @@
+package lineage_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/lumina-sim/lumina/internal/config"
+	"github.com/lumina-sim/lumina/internal/lineage"
+	"github.com/lumina-sim/lumina/internal/orchestrator"
+	"github.com/lumina-sim/lumina/internal/packet"
+)
+
+func runScenario(t *testing.T, mutate func(*config.Test)) *orchestrator.Report {
+	t.Helper()
+	cfg := config.Default()
+	cfg.Traffic.NumConnections = 1
+	cfg.Traffic.NumMsgsPerQP = 3
+	cfg.Traffic.MessageSize = 10240
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	opts := orchestrator.DefaultOptions()
+	opts.Telemetry = true
+	opts.Lineage = true
+	rep, err := orchestrator.Run(cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TimedOut {
+		t.Fatal("run timed out")
+	}
+	if rep.Lineage == nil {
+		t.Fatal("no lineage graph on the report")
+	}
+	return rep
+}
+
+func kinds(g *lineage.Graph, ch *lineage.Chain) []lineage.NodeKind {
+	var out []lineage.NodeKind
+	for _, id := range ch.Nodes {
+		out = append(out, g.Nodes[id].Kind)
+	}
+	return out
+}
+
+// The acceptance scenario: a dropped data packet must yield the full
+// causal chain — injection, NACK, rewind, retransmission, completion —
+// with non-negative virtual-time latencies on every edge.
+func TestDropChainHasFullCausalStory(t *testing.T) {
+	rep := runScenario(t, func(c *config.Test) {
+		c.Traffic.Events = []config.Event{{QPN: 1, PSN: 5, Type: "drop", Iter: 1}}
+	})
+	g := rep.Lineage
+	ids := g.ChainsOf(packet.EventDrop)
+	if len(ids) != 1 {
+		t.Fatalf("drop chains = %v, want exactly 1", ids)
+	}
+	ch := g.Chain(ids[0])
+	if ch == nil || !ch.Completed {
+		t.Fatalf("drop chain not completed: %+v", ch)
+	}
+
+	got := map[lineage.NodeKind]bool{}
+	for _, k := range kinds(g, ch) {
+		got[k] = true
+	}
+	for _, k := range []lineage.NodeKind{
+		lineage.NodeInject, lineage.NodeNack, lineage.NodeRewind,
+		lineage.NodeRetransmit, lineage.NodeComplete,
+	} {
+		if !got[k] {
+			t.Fatalf("chain misses %q node; has %v", k, kinds(g, ch))
+		}
+	}
+	if len(ch.Edges) != len(ch.Nodes)-1 {
+		t.Fatalf("%d edges for %d nodes", len(ch.Edges), len(ch.Nodes))
+	}
+	for _, e := range ch.Edges {
+		if e.Latency < 0 {
+			t.Fatalf("edge %q has negative latency %v", e.Label, e.Latency)
+		}
+		if e.Label == "" {
+			t.Fatal("edge without label")
+		}
+	}
+	if ch.ActorQPN == 0 {
+		t.Fatal("chain did not identify the reacting QPN")
+	}
+
+	// The rendered story names every lifecycle stage.
+	story := g.Explain(ch.ActorQPN, ch.PSN)
+	for _, want := range []string{"inject", "nack", "rewind", "retransmit", "complete", "µs"} {
+		if !strings.Contains(story, want) {
+			t.Fatalf("story misses %q:\n%s", want, story)
+		}
+	}
+	if g.Explain(ch.ActorQPN, ch.PSN+1000) != "" {
+		t.Fatal("Explain matched a PSN that has no chain")
+	}
+}
+
+// An ECN mark must chain to the CNP it provoked and the DCQCN rate cut
+// at the reaction point.
+func TestECNChainReachesRateCut(t *testing.T) {
+	rep := runScenario(t, func(c *config.Test) {
+		c.Traffic.Events = []config.Event{{QPN: 1, PSN: 4, Type: "ecn", Iter: 1}}
+	})
+	g := rep.Lineage
+	ids := g.ChainsOf(packet.EventECN)
+	if len(ids) != 1 {
+		t.Fatalf("ecn chains = %v, want exactly 1", ids)
+	}
+	ch := g.Chain(ids[0])
+	ks := kinds(g, ch)
+	want := []lineage.NodeKind{lineage.NodeInject, lineage.NodeCNP, lineage.NodeRateCut}
+	if len(ks) != len(want) {
+		t.Fatalf("ecn chain nodes = %v, want %v", ks, want)
+	}
+	for i := range want {
+		if ks[i] != want[i] {
+			t.Fatalf("ecn chain nodes = %v, want %v", ks, want)
+		}
+	}
+	if !ch.Completed {
+		t.Fatal("ecn chain with a rate cut should be completed")
+	}
+}
+
+// Without the probe stream (pcap-only reconstruction) the chain still
+// carries every wire-visible node.
+func TestTraceOnlyBuildDegradesGracefully(t *testing.T) {
+	rep := runScenario(t, func(c *config.Test) {
+		c.Traffic.Events = []config.Event{{QPN: 1, PSN: 5, Type: "drop", Iter: 1}}
+	})
+	g := lineage.Build(rep.Trace, nil)
+	ids := g.ChainsOf(packet.EventDrop)
+	if len(ids) != 1 {
+		t.Fatalf("drop chains = %v", ids)
+	}
+	ch := g.Chain(ids[0])
+	got := map[lineage.NodeKind]bool{}
+	for _, k := range kinds(g, ch) {
+		got[k] = true
+	}
+	for _, k := range []lineage.NodeKind{lineage.NodeInject, lineage.NodeOOO, lineage.NodeNack, lineage.NodeRetransmit} {
+		if !got[k] {
+			t.Fatalf("trace-only chain misses %q; has %v", k, kinds(g, ch))
+		}
+	}
+	if got[lineage.NodeRewind] || got[lineage.NodeComplete] {
+		t.Fatalf("trace-only chain has probe-derived nodes: %v", kinds(g, ch))
+	}
+
+	// Summaries round-trip the same structure the live graph has.
+	s := g.Summarize()
+	if s.Total != len(g.Chains) || len(s.Items) != s.Total {
+		t.Fatalf("summary totals %d/%d for %d chains", s.Total, len(s.Items), len(g.Chains))
+	}
+	it := s.Items[0]
+	if it.Lineage != ch.Lineage || len(it.Nodes) != len(ch.Nodes) || len(it.Edges) != len(ch.Edges) {
+		t.Fatalf("summary item mismatch: %+v vs chain %+v", it, ch)
+	}
+	if !strings.Contains(it.Story(), "inject") || !strings.Contains(it.Headline(), "drop") {
+		t.Fatalf("rendering broken:\n%s\n%s", it.Story(), it.Headline())
+	}
+}
+
+// A read-verb drop recovers via re-read (implied NAK), not a NAK packet.
+func TestReadDropChainUsesReRead(t *testing.T) {
+	rep := runScenario(t, func(c *config.Test) {
+		c.Traffic.Verb = "read"
+		c.Traffic.Events = []config.Event{{QPN: 1, PSN: 5, Type: "drop", Iter: 1}}
+	})
+	g := rep.Lineage
+	ids := g.ChainsOf(packet.EventDrop)
+	if len(ids) != 1 {
+		t.Fatalf("drop chains = %v", ids)
+	}
+	got := map[lineage.NodeKind]bool{}
+	for _, k := range kinds(g, g.Chain(ids[0])) {
+		got[k] = true
+	}
+	if !got[lineage.NodeReRead] || got[lineage.NodeNack] {
+		t.Fatalf("read recovery should use re-read: %v", kinds(g, g.Chain(ids[0])))
+	}
+	if !got[lineage.NodeRetransmit] {
+		t.Fatalf("read drop not retransmitted: %v", kinds(g, g.Chain(ids[0])))
+	}
+}
+
+// Build on an empty/none input stays well-defined.
+func TestBuildNilAndEmpty(t *testing.T) {
+	if g := lineage.Build(nil, nil); len(g.Chains) != 0 || len(g.Nodes) != 0 {
+		t.Fatal("nil trace produced chains")
+	}
+	rep := runScenario(t, nil) // no injected events
+	if g := rep.Lineage; len(g.Chains) != 0 {
+		t.Fatalf("event-free run produced %d chains", len(g.Chains))
+	}
+	s := rep.Lineage.Summarize()
+	if s.Total != 0 || s.ByEvent != nil {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}

@@ -16,9 +16,11 @@ import (
 	"os"
 	"path/filepath"
 
+	"github.com/lumina-sim/lumina/internal/analyzer"
 	"github.com/lumina-sim/lumina/internal/config"
 	"github.com/lumina-sim/lumina/internal/dumper"
 	"github.com/lumina-sim/lumina/internal/injector"
+	"github.com/lumina-sim/lumina/internal/lineage"
 	"github.com/lumina-sim/lumina/internal/packet"
 	"github.com/lumina-sim/lumina/internal/rnic"
 	"github.com/lumina-sim/lumina/internal/sim"
@@ -38,6 +40,15 @@ type Options struct {
 	// Telemetry is observe-only and does not perturb the simulated
 	// history — a run produces the same trace with or without it.
 	Telemetry bool
+
+	// Lineage reconstructs causal packet-lifecycle chains after the run
+	// (Report.Lineage) and renders analyzer verdicts that cite them
+	// (Report.Verdicts). Reconstruction is purely offline — it reads the
+	// finished trace and probe stream — so, like Telemetry, it cannot
+	// change the simulated history. With Telemetry also on, chains gain
+	// the endpoint-internal nodes (rewind, rto-fire, rate-cut,
+	// completion) only probes can witness.
+	Lineage bool
 }
 
 // DefaultOptions allows generous virtual time for timeout-heavy tests.
@@ -82,6 +93,14 @@ type Report struct {
 	// Trace is the reconstructed packet trace (not serialized to JSON;
 	// use WriteArtifacts for a pcap).
 	Trace *trace.Trace `json:"-"`
+
+	// Lineage is the causal packet-lifecycle DAG; nil unless
+	// Options.Lineage was set. Serialized (via Summary) to summary.json
+	// by WriteArtifacts.
+	Lineage *lineage.Graph `json:"-"`
+	// Verdicts are the analyzer pass/fail judgements citing lineage
+	// chains; nil unless Options.Lineage was set.
+	Verdicts []analyzer.Verdict `json:"-"`
 }
 
 // Testbed is the assembled simulation, exposed so tests and experiment
@@ -256,6 +275,23 @@ func (tb *Testbed) Execute() (*Report, error) {
 		rep.IntegrityOK = true
 		rep.IntegrityDetail = "mirroring disabled; no trace collected"
 	}
+	if tb.Opts.Lineage {
+		// Offline reconstruction over finished state: the simulation is
+		// already terminated, so this cannot perturb the trace. The
+		// verdict probes are emitted before the Events snapshot so they
+		// appear as instants on the orchestrator timeline track.
+		rep.Lineage = lineage.Build(tr, hub.Events())
+		rep.Verdicts = analyzer.Verdicts(tr, rep.Lineage)
+		for _, v := range rep.Verdicts {
+			result := "pass"
+			if !v.Pass {
+				result = "fail"
+			}
+			hub.EmitArgs(telemetry.KindVerdict, "orchestrator", v.Analyzer,
+				telemetry.S("result", result),
+				telemetry.S("reason", v.Reason))
+		}
+	}
 	if hub.Active() {
 		rep.Metrics = hub.Snapshot()
 		rep.Events = hub.Events()
@@ -273,7 +309,8 @@ func Run(cfg config.Test, opts Options) (*Report, error) {
 }
 
 // WriteArtifacts stores the collected results in dir: report.json,
-// trace.pcap, and the raw counters.
+// trace.pcap, plus — when the corresponding option was on —
+// metrics.json, timeline.json, and summary.json.
 func (r *Report) WriteArtifacts(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
@@ -312,6 +349,16 @@ func (r *Report) WriteArtifacts(dir string) error {
 		}
 		defer f.Close()
 		if err := telemetry.WriteTimeline(f, r.Events); err != nil {
+			return err
+		}
+	}
+	if r.Lineage != nil {
+		f, err := os.Create(filepath.Join(dir, "summary.json"))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := r.WriteSummary(f); err != nil {
 			return err
 		}
 	}

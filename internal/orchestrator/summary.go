@@ -1,0 +1,104 @@
+package orchestrator
+
+import (
+	"encoding/json"
+	"io"
+
+	"github.com/lumina-sim/lumina/internal/analyzer"
+	"github.com/lumina-sim/lumina/internal/lineage"
+	"github.com/lumina-sim/lumina/internal/sim"
+)
+
+// SummarySchema versions the summary.json layout for cross-run diffing
+// tools; bump it when a field changes meaning or disappears.
+const SummarySchema = "lumina-summary/1"
+
+// LatencyDigest is the percentile digest of one registry histogram.
+type LatencyDigest struct {
+	Name  string `json:"name"`
+	Count int64  `json:"count"`
+	P50   int64  `json:"p50_ns"`
+	P99   int64  `json:"p99_ns"`
+	Max   int64  `json:"max_ns"`
+}
+
+// Summary is the machine-readable run summary WriteArtifacts emits as
+// summary.json. It is designed for cross-run diffing: every field is
+// derived deterministically from the run (struct field order is fixed,
+// slices are in deterministic order, the only map — chains.by_event —
+// serializes with sorted keys), so two same-seed runs produce
+// byte-identical files.
+type Summary struct {
+	Schema     string   `json:"schema"`
+	Name       string   `json:"name"`
+	Seed       int64    `json:"seed"`
+	Requester  string   `json:"requester_nic"`
+	Responder  string   `json:"responder_nic"`
+	Verb       string   `json:"verb"`
+	DurationNs sim.Time `json:"duration_ns"`
+	TimedOut   bool     `json:"timed_out"`
+
+	IntegrityOK  bool `json:"integrity_ok"`
+	TracePackets int  `json:"trace_packets"`
+
+	MessagesOK     int `json:"messages_ok"`
+	MessagesFailed int `json:"messages_failed"`
+
+	Verdicts  []analyzer.Verdict     `json:"verdicts,omitempty"`
+	Chains    *lineage.ChainsSummary `json:"chains,omitempty"`
+	Latencies []LatencyDigest        `json:"latencies,omitempty"`
+}
+
+// Summary condenses the report into its summary.json form.
+func (r *Report) Summary() *Summary {
+	s := &Summary{
+		Schema:     SummarySchema,
+		Name:       r.Config.Name,
+		Seed:       r.Config.Seed,
+		Requester:  r.Config.Requester.NIC.Type,
+		Responder:  r.Config.Responder.NIC.Type,
+		Verb:       r.Config.Traffic.Verb,
+		DurationNs: r.DurationNs,
+		TimedOut:   r.TimedOut,
+
+		IntegrityOK: r.IntegrityOK,
+		Verdicts:    r.Verdicts,
+	}
+	if r.Trace != nil {
+		s.TracePackets = len(r.Trace.Entries)
+	}
+	if r.Traffic != nil {
+		for _, c := range r.Traffic.Conns {
+			for st, n := range c.Statuses {
+				if st == "OK" {
+					s.MessagesOK += n
+				} else {
+					s.MessagesFailed += n
+				}
+			}
+		}
+	}
+	if r.Lineage != nil {
+		s.Chains = r.Lineage.Summarize()
+	}
+	if r.Metrics != nil {
+		for i := range r.Metrics.Histograms {
+			h := &r.Metrics.Histograms[i]
+			s.Latencies = append(s.Latencies, LatencyDigest{
+				Name: h.Name, Count: h.Count, P50: h.P50, P99: h.P99, Max: h.Max,
+			})
+		}
+	}
+	return s
+}
+
+// WriteSummary renders the summary as indented JSON.
+func (r *Report) WriteSummary(w io.Writer) error {
+	js, err := json.MarshalIndent(r.Summary(), "", "  ")
+	if err != nil {
+		return err
+	}
+	js = append(js, '\n')
+	_, err = w.Write(js)
+	return err
+}

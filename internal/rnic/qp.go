@@ -716,6 +716,14 @@ func (qp *QP) complete(w *wqe, st CompletionStatus) {
 		return
 	}
 	w.done = true
+	// The PSN range lets offline lineage reconstruction join a
+	// retransmitted packet to the message completion it unblocked.
+	qp.hub().EmitArgs(telemetry.KindTrafficMsg, qp.track, "wqe_complete",
+		telemetry.I("wr_id", int64(w.req.WRID)),
+		telemetry.I("qpn", int64(qp.QPN)),
+		telemetry.I("start_psn", int64(w.startPSN)),
+		telemetry.I("end_psn", int64(w.endPSN)),
+		telemetry.S("status", st.String()))
 	if w.req.OnComplete != nil {
 		w.req.OnComplete(Completion{
 			WRID:        w.req.WRID,

@@ -39,11 +39,12 @@ const (
 	KindWRRPick      Kind = "wrr.pick"      // mirror spray WRR dumper choice
 	KindDumperEnq    Kind = "dumper.enqueue"
 	KindDumperDisc   Kind = "dumper.discard"
-	KindDumperQueue  Kind = "dumper.queue" // ring occupancy (counter)
-	KindTrafficMsg   Kind = "traffic.msg"  // message post / completion
-	KindRunPhase     Kind = "run.phase"    // orchestrator phase markers
-	KindNICWedge     Kind = "nic.wedge"    // RX pipeline wedge span
-	KindTracePkt     Kind = "trace.pkt"    // packet synthesized from a captured trace
+	KindDumperQueue  Kind = "dumper.queue"     // ring occupancy (counter)
+	KindTrafficMsg   Kind = "traffic.msg"      // message post / completion
+	KindRunPhase     Kind = "run.phase"        // orchestrator phase markers
+	KindNICWedge     Kind = "nic.wedge"        // RX pipeline wedge span
+	KindTracePkt     Kind = "trace.pkt"        // packet synthesized from a captured trace
+	KindVerdict      Kind = "analyzer.verdict" // post-run analyzer pass/fail instants
 )
 
 // Field is one key/value annotation on an event. Val carries numeric

@@ -82,18 +82,27 @@ func ReadPcap(r io.Reader) ([]PcapPacket, error) {
 			if err == io.EOF {
 				return out, nil
 			}
-			return nil, fmt.Errorf("trace: pcap record header: %w", err)
+			// A partial record header means the file was cut mid-record:
+			// only EOF exactly on a record boundary is a complete capture.
+			return nil, fmt.Errorf("trace: truncated pcap: partial header for record %d: %w",
+				len(out), err)
 		}
 		sec := int64(le.Uint32(rec[0:4]))
 		frac := int64(le.Uint32(rec[4:8]))
 		incl := le.Uint32(rec[8:12])
 		orig := le.Uint32(rec[12:16])
 		if incl > 1<<20 {
-			return nil, fmt.Errorf("trace: implausible pcap record length %d", incl)
+			return nil, fmt.Errorf("trace: invalid pcap: record %d claims implausible length %d",
+				len(out), incl)
+		}
+		if orig < incl {
+			return nil, fmt.Errorf("trace: invalid pcap: record %d original length %d smaller than captured %d",
+				len(out), orig, incl)
 		}
 		data := make([]byte, incl)
 		if _, err := io.ReadFull(r, data); err != nil {
-			return nil, fmt.Errorf("trace: pcap record body: %w", err)
+			return nil, fmt.Errorf("trace: truncated pcap: record %d body cut short (want %d bytes): %w",
+				len(out), incl, err)
 		}
 		out = append(out, PcapPacket{
 			TimestampNs: sec*1e9 + frac*nsScale,

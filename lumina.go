@@ -29,6 +29,7 @@ import (
 	"github.com/lumina-sim/lumina/internal/analyzer"
 	"github.com/lumina-sim/lumina/internal/config"
 	"github.com/lumina-sim/lumina/internal/fuzz"
+	"github.com/lumina-sim/lumina/internal/lineage"
 	"github.com/lumina-sim/lumina/internal/orchestrator"
 	"github.com/lumina-sim/lumina/internal/rnic"
 	"github.com/lumina-sim/lumina/internal/sim"
@@ -78,7 +79,24 @@ type (
 	CNPReport     = analyzer.CNPReport
 	Inconsistency = analyzer.Inconsistency
 	HostView      = analyzer.HostView
+	Verdict       = analyzer.Verdict
 )
+
+// Lineage (Options.Lineage: the causal packet-lifecycle DAG behind
+// Report.Lineage, `lumina-trace explain`, and summary.json).
+type (
+	LineageGraph = lineage.Graph
+	LineageChain = lineage.Chain
+	LineageNode  = lineage.Node
+	RunSummary   = orchestrator.Summary
+)
+
+// BuildLineage reconstructs causal chains from a trace and an optional
+// probe stream (nil events yields wire-visible chains only). Runs made
+// with Options.Lineage already carry the graph in Report.Lineage.
+func BuildLineage(tr *Trace, events []TelemetryEvent) *LineageGraph {
+	return lineage.Build(tr, events)
+}
 
 // Fuzzing (§4, Algorithm 1).
 type (
