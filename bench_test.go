@@ -21,12 +21,25 @@ import (
 	"github.com/lumina-sim/lumina/internal/yamlite"
 )
 
+// must unwraps an experiment's (value, error) pair, aborting the
+// benchmark on error. Curried so a multi-value call can feed it
+// directly: must(experiments.Figure7(100))(b).
+func must[T any](v T, err error) func(testing.TB) T {
+	return func(tb testing.TB) T {
+		tb.Helper()
+		if err != nil {
+			tb.Fatal(err)
+		}
+		return v
+	}
+}
+
 // BenchmarkFigure7_InjectorOverhead regenerates Figure 7: average
 // message completion time under the four switch modes. Metrics:
 // <variant>_<size>_mct_us.
 func BenchmarkFigure7_InjectorOverhead(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		pts := experiments.Figure7(100)
+		pts := must(experiments.Figure7(100))(b)
 		if i == 0 {
 			for _, p := range pts {
 				name := fmt.Sprintf("%s_%dKB_mct_us", p.Variant, p.MsgBytes/1024)
@@ -40,7 +53,7 @@ func BenchmarkFigure7_InjectorOverhead(b *testing.B) {
 // latency versus drop position, per NIC and verb.
 func BenchmarkFigure8_NACKGeneration(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		pts := experiments.Figures8And9(rnic.HardwareModelNames(), []int{1, 40, 99})
+		pts := must(experiments.Figures8And9(rnic.HardwareModelNames(), []int{1, 40, 99}))(b)
 		if i == 0 {
 			for _, p := range pts {
 				b.ReportMetric(p.Gen.Microseconds(),
@@ -54,7 +67,7 @@ func BenchmarkFigure8_NACKGeneration(b *testing.B) {
 // latency versus drop position.
 func BenchmarkFigure9_NACKReaction(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		pts := experiments.Figures8And9(rnic.HardwareModelNames(), []int{1, 40, 99})
+		pts := must(experiments.Figures8And9(rnic.HardwareModelNames(), []int{1, 40, 99}))(b)
 		if i == 0 {
 			for _, p := range pts {
 				b.ReportMetric(p.React.Microseconds(),
@@ -69,7 +82,7 @@ func BenchmarkFigure9_NACKReaction(b *testing.B) {
 func BenchmarkFigure10_ETS(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		for _, model := range []string{rnic.ModelCX6, rnic.ModelSpec} {
-			pts := experiments.Figure10(model)
+			pts := must(experiments.Figure10(model))(b)
 			if i == 0 {
 				for _, p := range pts {
 					b.ReportMetric(p.GoodputGbps,
@@ -84,7 +97,7 @@ func BenchmarkFigure10_ETS(b *testing.B) {
 // MCTs versus the number of drop-injected Read connections on CX4 Lx.
 func BenchmarkFigure11_NoisyNeighbor(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		pts := experiments.Figure11(rnic.ModelCX4, []int{0, 8, 12, 16})
+		pts := must(experiments.Figure11(rnic.ModelCX4, []int{0, 8, 12, 16}))(b)
 		if i == 0 {
 			for _, p := range pts {
 				b.ReportMetric(float64(p.InnocentMCT)/1e6,
@@ -99,7 +112,7 @@ func BenchmarkFigure11_NoisyNeighbor(b *testing.B) {
 // BenchmarkTable2_BugMatrix regenerates Table 2's detection matrix.
 func BenchmarkTable2_BugMatrix(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		tab := experiments.Table2()
+		tab := must(experiments.Table2())(b)
 		if i == 0 {
 			detected := 0
 			for _, row := range tab.Rows {
@@ -117,8 +130,8 @@ func BenchmarkTable2_BugMatrix(b *testing.B) {
 // without the MigReq rewrite.
 func BenchmarkInterop_E810_CX5(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		pts := experiments.Interop([]int{4, 16}, false)
-		fixed := experiments.Interop([]int{16}, true)
+		pts := must(experiments.Interop([]int{4, 16}, false))(b)
+		fixed := must(experiments.Interop([]int{16}, true))(b)
 		if i == 0 {
 			for _, p := range pts {
 				b.ReportMetric(float64(p.RxDiscards), fmt.Sprintf("qp%d_discards", p.QPs))
@@ -135,7 +148,7 @@ func BenchmarkInterop_E810_CX5(b *testing.B) {
 // (E810's hidden ~50µs floor).
 func BenchmarkHidden_CNPInterval(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		pts := experiments.CNPIntervals(nil)
+		pts := must(experiments.CNPIntervals(nil))(b)
 		if i == 0 {
 			for _, p := range pts {
 				b.ReportMetric(p.MinInterval.Microseconds(), p.Model+"_min_cnp_gap_us")
@@ -148,7 +161,7 @@ func BenchmarkHidden_CNPInterval(b *testing.B) {
 // classification (1 = matches the paper's reported mode).
 func BenchmarkHidden_CNPModes(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		pts := experiments.CNPScopes(nil)
+		pts := must(experiments.CNPScopes(nil))(b)
 		if i == 0 {
 			for _, p := range pts {
 				match := 0.0
@@ -165,7 +178,7 @@ func BenchmarkHidden_CNPModes(b *testing.B) {
 // retransmission timeout schedule on CX6 Dx.
 func BenchmarkHidden_AdaptiveRetrans(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		pts := experiments.AdaptiveRetrans(rnic.ModelCX6, true, 7)
+		pts := must(experiments.AdaptiveRetrans(rnic.ModelCX6, true, 7))(b)
 		if i == 0 {
 			for _, p := range pts {
 				b.ReportMetric(float64(p.Timeout)/1e6, fmt.Sprintf("retry%d_timeout_ms", p.Retry))
@@ -178,7 +191,7 @@ func BenchmarkHidden_AdaptiveRetrans(b *testing.B) {
 // comparison between the two-host design and the load-balanced pool.
 func BenchmarkDumperLoadBalancing(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		pts := experiments.DumperLB(6)
+		pts := must(experiments.DumperLB(6))(b)
 		if i == 0 {
 			for _, p := range pts {
 				name := "pool_success_pct"
@@ -357,7 +370,7 @@ func BenchmarkAblations(b *testing.B) {
 		return string(out)
 	}
 	for i := 0; i < b.N; i++ {
-		pts := experiments.AblationAll()
+		pts := must(experiments.AblationAll())(b)
 		if i == 0 {
 			for _, p := range pts {
 				b.ReportMetric(p.Value, sanitize(p.Ablation+"/"+p.Variant+"/"+p.Metric))

@@ -9,6 +9,8 @@
 //	                              # cnp-scope|adaptive|dumper-lb|overhead|
 //	                              # ablation
 //	lumina-bench -msgs 200        # Figure 7 message count (default 1000)
+//	lumina-bench -workers 4       # engine worker-pool size; the measured
+//	                              # rows are identical for every value
 //	lumina-bench -run fig8 -json  # also write BENCH_fig8.json
 package main
 
@@ -18,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -30,10 +33,17 @@ func main() {
 	runSel := flag.String("run", "all", "experiment to run (comma separated), or 'all'")
 	msgs := flag.Int("msgs", 1000, "Figure 7: messages per size/variant")
 	lbRuns := flag.Int("lb-runs", 10, "dumper load-balancing: seeds per design")
+	workers := flag.Int("workers", 0, "engine worker-pool size: 0 = one per CPU, 1 = serial (rows are byte-identical for every value)")
 	format := flag.String("format", "table", "output format: table | csv")
-	jsonOut := flag.Bool("json", false, "also write BENCH_<name>.json per experiment (measured rows + wall time + seed)")
+	jsonOut := flag.Bool("json", false, "also write BENCH_<name>.json per experiment (measured rows + wall time + seed + workers)")
 	jsonDir := flag.String("json-dir", ".", "directory for -json output files")
 	flag.Parse()
+
+	experiments.SetWorkers(*workers)
+	effWorkers := *workers
+	if effWorkers <= 0 {
+		effWorkers = runtime.NumCPU()
+	}
 
 	render := func(t *experiments.Table) string { return t.Render() }
 	if *format == "csv" {
@@ -46,14 +56,18 @@ func main() {
 	}
 	want := func(name string) bool { return selected["all"] || selected[name] }
 	ran := 0
-	section := func(name string, fn func() []*experiments.Table) {
+	section := func(name string, fn func() ([]*experiments.Table, error)) {
 		if !want(name) {
 			return
 		}
 		ran++
 		start := time.Now()
 		fmt.Printf("=== %s ===\n", name)
-		tables := fn()
+		tables, err := fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lumina-bench: experiment %q failed: %v\n", name, err)
+			os.Exit(1)
+		}
 		for i, t := range tables {
 			if i > 0 {
 				fmt.Println()
@@ -63,58 +77,100 @@ func main() {
 		wall := time.Since(start)
 		fmt.Printf("(%s took %v)\n\n", name, wall.Round(time.Millisecond))
 		if *jsonOut && len(tables) > 0 {
-			writeBenchJSON(*jsonDir, name, tables, wall)
+			writeBenchJSON(*jsonDir, name, tables, wall, effWorkers)
 		}
 	}
 
-	section("fig7", func() []*experiments.Table {
-		pts := experiments.Figure7(*msgs)
-		return []*experiments.Table{experiments.Figure7Table(pts)}
-	})
-	section("fig8", func() []*experiments.Table {
-		pts := experiments.Figures8And9(nil, nil)
-		return []*experiments.Table{experiments.Figure8Table(pts), experiments.Figure9Table(pts)}
-	})
-	section("fig9", func() []*experiments.Table {
-		if want("fig8") && (selected["all"] || len(selected) > 1) {
-			return nil // already printed with fig8
+	section("fig7", func() ([]*experiments.Table, error) {
+		pts, err := experiments.Figure7(*msgs)
+		if err != nil {
+			return nil, err
 		}
-		pts := experiments.Figures8And9(nil, nil)
-		return []*experiments.Table{experiments.Figure9Table(pts)}
+		return []*experiments.Table{experiments.Figure7Table(pts)}, nil
 	})
-	section("fig10", func() []*experiments.Table {
+	section("fig8", func() ([]*experiments.Table, error) {
+		pts, err := experiments.Figures8And9(nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		return []*experiments.Table{experiments.Figure8Table(pts), experiments.Figure9Table(pts)}, nil
+	})
+	section("fig9", func() ([]*experiments.Table, error) {
+		if want("fig8") && (selected["all"] || len(selected) > 1) {
+			return nil, nil // already printed with fig8
+		}
+		pts, err := experiments.Figures8And9(nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		return []*experiments.Table{experiments.Figure9Table(pts)}, nil
+	})
+	section("fig10", func() ([]*experiments.Table, error) {
 		var pts []experiments.Figure10Point
 		for _, model := range []string{rnic.ModelCX6, rnic.ModelSpec} {
-			pts = append(pts, experiments.Figure10(model)...)
+			mp, err := experiments.Figure10(model)
+			if err != nil {
+				return nil, err
+			}
+			pts = append(pts, mp...)
 		}
-		return []*experiments.Table{experiments.Figure10Table(pts)}
+		return []*experiments.Table{experiments.Figure10Table(pts)}, nil
 	})
-	section("fig11", func() []*experiments.Table {
-		pts := experiments.Figure11(rnic.ModelCX4, nil)
-		return []*experiments.Table{experiments.Figure11Table(pts)}
+	section("fig11", func() ([]*experiments.Table, error) {
+		pts, err := experiments.Figure11(rnic.ModelCX4, nil)
+		if err != nil {
+			return nil, err
+		}
+		return []*experiments.Table{experiments.Figure11Table(pts)}, nil
 	})
-	section("interop", func() []*experiments.Table {
-		pts := experiments.Interop(nil, false)
-		pts = append(pts, experiments.Interop([]int{16}, true)...)
-		return []*experiments.Table{experiments.InteropTable(pts)}
+	section("interop", func() ([]*experiments.Table, error) {
+		pts, err := experiments.Interop(nil, false)
+		if err != nil {
+			return nil, err
+		}
+		fixed, err := experiments.Interop([]int{16}, true)
+		if err != nil {
+			return nil, err
+		}
+		return []*experiments.Table{experiments.InteropTable(append(pts, fixed...))}, nil
 	})
-	section("cnp-interval", func() []*experiments.Table {
-		return []*experiments.Table{experiments.CNPIntervalTable(experiments.CNPIntervals(nil))}
+	section("cnp-interval", func() ([]*experiments.Table, error) {
+		pts, err := experiments.CNPIntervals(nil)
+		if err != nil {
+			return nil, err
+		}
+		return []*experiments.Table{experiments.CNPIntervalTable(pts)}, nil
 	})
-	section("cnp-scope", func() []*experiments.Table {
-		return []*experiments.Table{experiments.CNPScopeTable(experiments.CNPScopes(nil))}
+	section("cnp-scope", func() ([]*experiments.Table, error) {
+		pts, err := experiments.CNPScopes(nil)
+		if err != nil {
+			return nil, err
+		}
+		return []*experiments.Table{experiments.CNPScopeTable(pts)}, nil
 	})
-	section("adaptive", func() []*experiments.Table {
-		var pts []experiments.AdaptiveRetransPoint
-		pts = append(pts, experiments.AdaptiveRetrans(rnic.ModelCX6, true, 7)...)
-		pts = append(pts, experiments.AdaptiveRetrans(rnic.ModelCX6, false, 3)...)
-		return []*experiments.Table{experiments.AdaptiveRetransTable(pts)}
+	section("adaptive", func() ([]*experiments.Table, error) {
+		on, err := experiments.AdaptiveRetrans(rnic.ModelCX6, true, 7)
+		if err != nil {
+			return nil, err
+		}
+		off, err := experiments.AdaptiveRetrans(rnic.ModelCX6, false, 3)
+		if err != nil {
+			return nil, err
+		}
+		return []*experiments.Table{experiments.AdaptiveRetransTable(append(on, off...))}, nil
 	})
-	section("dumper-lb", func() []*experiments.Table {
-		return []*experiments.Table{experiments.DumperLBTable(experiments.DumperLB(*lbRuns))}
+	section("dumper-lb", func() ([]*experiments.Table, error) {
+		pts, err := experiments.DumperLB(*lbRuns)
+		if err != nil {
+			return nil, err
+		}
+		return []*experiments.Table{experiments.DumperLBTable(pts)}, nil
 	})
-	section("overhead", func() []*experiments.Table {
-		p := experiments.SwitchOverhead()
+	section("overhead", func() ([]*experiments.Table, error) {
+		p, err := experiments.SwitchOverhead()
+		if err != nil {
+			return nil, err
+		}
 		return []*experiments.Table{{
 			Title:   "Switch pipeline overhead (paper reports <0.4µs one-way)",
 			Columns: []string{"one_way_extra_us", "configured_ns"},
@@ -122,13 +178,21 @@ func main() {
 				fmt.Sprintf("%.3f", float64(p.OneWayExtra)/1000),
 				fmt.Sprintf("%d", p.PipelineNs),
 			}},
-		}}
+		}}, nil
 	})
-	section("table2", func() []*experiments.Table {
-		return []*experiments.Table{experiments.Table2()}
+	section("table2", func() ([]*experiments.Table, error) {
+		t, err := experiments.Table2()
+		if err != nil {
+			return nil, err
+		}
+		return []*experiments.Table{t}, nil
 	})
-	section("ablation", func() []*experiments.Table {
-		return []*experiments.Table{experiments.AblationTable(experiments.AblationAll())}
+	section("ablation", func() ([]*experiments.Table, error) {
+		pts, err := experiments.AblationAll()
+		if err != nil {
+			return nil, err
+		}
+		return []*experiments.Table{experiments.AblationTable(pts)}, nil
 	})
 
 	if ran == 0 {
@@ -145,21 +209,25 @@ type benchTable struct {
 }
 
 // benchResult is the BENCH_<name>.json schema: the measured rows plus
-// the provenance a trajectory tracker needs (wall time, seed).
+// the provenance a trajectory tracker needs (wall time, seed, worker
+// count). Only wall_ms and workers may differ between runs; the tables
+// are byte-identical for every worker count.
 type benchResult struct {
-	Name   string       `json:"name"`
-	Seed   int64        `json:"seed"`
-	WallMs float64      `json:"wall_ms"`
-	Tables []benchTable `json:"tables"`
+	Name    string       `json:"name"`
+	Seed    int64        `json:"seed"`
+	WallMs  float64      `json:"wall_ms"`
+	Workers int          `json:"workers"`
+	Tables  []benchTable `json:"tables"`
 }
 
-func writeBenchJSON(dir, name string, tables []*experiments.Table, wall time.Duration) {
+func writeBenchJSON(dir, name string, tables []*experiments.Table, wall time.Duration, workers int) {
 	out := benchResult{
 		Name: name,
 		// Experiments derive every run from config.Default; its seed is
 		// the one knob that would change the measured rows.
-		Seed:   config.Default().Seed,
-		WallMs: float64(wall.Microseconds()) / 1000,
+		Seed:    config.Default().Seed,
+		WallMs:  float64(wall.Microseconds()) / 1000,
+		Workers: workers,
 	}
 	for _, t := range tables {
 		out.Tables = append(out.Tables, benchTable{Title: t.Title, Columns: t.Columns, Rows: t.Rows})

@@ -27,6 +27,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "search seed")
 	stopFirst := flag.Bool("stop-first", false, "stop at the first anomaly")
 	saveDir := flag.String("save", "", "directory to save anomalous configs as replayable YAML")
+	workers := flag.Int("workers", 0, "engine worker-pool size for evaluating a generation: 0 = one per CPU, 1 = serial (findings are identical for every value)")
+	generation := flag.Int("generation", 8, "evaluations drawn per search round (an algorithm knob, unlike -workers)")
 	flag.Parse()
 
 	var target fuzz.Target
@@ -48,6 +50,7 @@ func main() {
 	f, err := fuzz.New(target, fuzz.Options{
 		Seed: *seed, PoolSize: 6, AcceptProb: 0.2,
 		Deadline: 300 * sim.Second, StopAtFirstAnomaly: *stopFirst,
+		Generation: *generation, Workers: *workers,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

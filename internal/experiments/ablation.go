@@ -41,7 +41,7 @@ func AblationTable(points []AblationPoint) *Table {
 // customPair runs one two-NIC traffic scenario with explicitly supplied
 // profiles — the hook the ablations use to flip single profile fields
 // without registering new models.
-func customPair(profReq, profResp rnic.Profile, mutate func(*config.Traffic), ets rnic.ETSConfig) *traffic.Results {
+func customPair(profReq, profResp rnic.Profile, mutate func(*config.Traffic), ets rnic.ETSConfig) (*traffic.Results, error) {
 	s := sim.New(1)
 	req := rnic.New(s, profReq, rnic.Config{
 		Name: "req", MAC: packet.MAC{2, 0, 0, 0, 0, 1},
@@ -66,11 +66,11 @@ func customPair(profReq, profResp rnic.Profile, mutate func(*config.Traffic), et
 	}
 	pair, err := traffic.NewPair(s, req, resp, tr)
 	if err != nil {
-		panic(err)
+		return nil, err
 	}
 	pair.Start(nil)
 	s.Run()
-	return pair.Results()
+	return pair.Results(), nil
 }
 
 func minF(a, b float64) float64 {
@@ -82,24 +82,35 @@ func minF(a, b float64) float64 {
 
 // AblateETSClamp measures the throughput a lone flow loses to the CX6 Dx
 // guarantee clamp by flipping ETSNonWorkConserving off.
-func AblateETSClamp() []AblationPoint {
+func AblateETSClamp() ([]AblationPoint, error) {
 	ets := rnic.ETSConfig{Queues: []rnic.ETSQueueConfig{{Weight: 50}, {Weight: 50}}}
-	measure := func(clamped bool) float64 {
+	measure := func(clamped bool) (float64, error) {
 		prof := rnic.Profiles()[rnic.ModelCX6]
 		prof.ETSNonWorkConserving = clamped
-		res := customPair(prof, rnic.Profiles()[rnic.ModelCX6], nil, ets)
-		return res.Conns[0].GoodputGbps()
+		res, err := customPair(prof, rnic.Profiles()[rnic.ModelCX6], nil, ets)
+		if err != nil {
+			return 0, err
+		}
+		return res.Conns[0].GoodputGbps(), nil
+	}
+	clamped, err := measure(true)
+	if err != nil {
+		return nil, err
+	}
+	unclamped, err := measure(false)
+	if err != nil {
+		return nil, err
 	}
 	return []AblationPoint{
-		{"ets-clamp", "cx6 (clamped)", "lone-flow-gbps", measure(true)},
-		{"ets-clamp", "cx6 w/o clamp", "lone-flow-gbps", measure(false)},
-	}
+		{"ets-clamp", "cx6 (clamped)", "lone-flow-gbps", clamped},
+		{"ets-clamp", "cx6 w/o clamp", "lone-flow-gbps", unclamped},
+	}, nil
 }
 
 // AblateWedge measures the noisy-neighbor amplification carried by the
 // slow-path wedge, by giving CX4 unlimited slow-path contexts.
-func AblateWedge() []AblationPoint {
-	measure := func(contexts int) float64 {
+func AblateWedge() ([]AblationPoint, error) {
+	measure := func(contexts int) (float64, error) {
 		cfg := config.Default()
 		cfg.Requester.NIC.Type = rnic.ModelCX4
 		cfg.Responder.NIC.Type = rnic.ModelCX4
@@ -113,12 +124,12 @@ func AblateWedge() []AblationPoint {
 		}
 		tb, err := orchestrator.Build(cfg, orchestrator.DefaultOptions())
 		if err != nil {
-			panic(err)
+			return 0, err
 		}
 		tb.ReqNIC.Prof.SlowPathContexts = contexts
 		rep, err := tb.Execute()
 		if err != nil {
-			panic(err)
+			return 0, err
 		}
 		var innocent sim.Duration
 		n := 0
@@ -129,18 +140,26 @@ func AblateWedge() []AblationPoint {
 				n++
 			}
 		}
-		return float64(innocent/sim.Duration(n)) / 1e6 // ms
+		return float64(innocent/sim.Duration(n)) / 1e6, nil // ms
+	}
+	wedged, err := measure(10)
+	if err != nil {
+		return nil, err
+	}
+	unlimited, err := measure(0)
+	if err != nil {
+		return nil, err
 	}
 	return []AblationPoint{
-		{"slow-path-wedge", "cx4 (10 contexts)", "innocent-mct-ms", measure(10)},
-		{"slow-path-wedge", "cx4 unlimited contexts", "innocent-mct-ms", measure(0)},
-	}
+		{"slow-path-wedge", "cx4 (10 contexts)", "innocent-mct-ms", wedged},
+		{"slow-path-wedge", "cx4 unlimited contexts", "innocent-mct-ms", unlimited},
+	}, nil
 }
 
 // AblateAPM measures the interop damage carried by the strict-APM slow
 // path, by disabling it on the CX5 responder.
-func AblateAPM() []AblationPoint {
-	measure := func(strict bool) float64 {
+func AblateAPM() ([]AblationPoint, error) {
+	measure := func(strict bool) (float64, error) {
 		cfg := config.Default()
 		cfg.Requester.NIC.Type = rnic.ModelE810
 		cfg.Responder.NIC.Type = rnic.ModelCX5
@@ -151,37 +170,50 @@ func AblateAPM() []AblationPoint {
 		cfg.Traffic.MinRetransmitTimeout = 12
 		tb, err := orchestrator.Build(cfg, orchestrator.DefaultOptions())
 		if err != nil {
-			panic(err)
+			return 0, err
 		}
 		tb.RespNIC.Prof.StrictAPM = strict
 		rep, err := tb.Execute()
 		if err != nil {
-			panic(err)
+			return 0, err
 		}
-		return float64(rep.ResponderCounters[rnic.CtrRxDiscardsPhy])
+		return float64(rep.ResponderCounters[rnic.CtrRxDiscardsPhy]), nil
+	}
+	strict, err := measure(true)
+	if err != nil {
+		return nil, err
+	}
+	relaxed, err := measure(false)
+	if err != nil {
+		return nil, err
 	}
 	return []AblationPoint{
-		{"strict-apm", "cx5 strict APM", "rx-discards", measure(true)},
-		{"strict-apm", "cx5 w/o strict APM", "rx-discards", measure(false)},
-	}
+		{"strict-apm", "cx5 strict APM", "rx-discards", strict},
+		{"strict-apm", "cx5 w/o strict APM", "rx-discards", relaxed},
+	}, nil
 }
 
 // AblateRSSRewrite measures the capture reliability the RSS-defeating
 // port rewrite buys within the load-balanced pool.
-func AblateRSSRewrite() []AblationPoint {
-	measure := func(rewrite bool) (drops float64) {
-		// A single line-rate flow is RSS's worst case: without the port
-		// rewrite every node funnels its share into one core.
+func AblateRSSRewrite() ([]AblationPoint, error) {
+	// A single line-rate flow is RSS's worst case: without the port
+	// rewrite every node funnels its share into one core.
+	var cfgs []config.Test
+	for _, rewrite := range []bool{true, false} {
 		cfg := config.Default()
+		cfg.Name = fmt.Sprintf("rss-rewrite=%v", rewrite)
 		cfg.Traffic.NumConnections = 1
 		cfg.Traffic.NumMsgsPerQP = 160
 		cfg.Traffic.MessageSize = 65536
 		cfg.Traffic.TxDepth = 8
 		cfg.Dumpers.RSSPortRewrite = rewrite
-		rep, err := orchestrator.Run(cfg, orchestrator.DefaultOptions())
-		if err != nil {
-			panic(err)
-		}
+		cfgs = append(cfgs, cfg)
+	}
+	reps, err := runAll("rss-rewrite", cfgs)
+	if err != nil {
+		return nil, err
+	}
+	drops := func(rep *orchestrator.Report) float64 {
 		var d uint64
 		for _, ds := range rep.DumperStats {
 			d += ds.Discards
@@ -189,15 +221,15 @@ func AblateRSSRewrite() []AblationPoint {
 		return float64(d)
 	}
 	return []AblationPoint{
-		{"rss-rewrite", "port rewrite on", "dumper-drops", measure(true)},
-		{"rss-rewrite", "port rewrite off", "dumper-drops", measure(false)},
-	}
+		{"rss-rewrite", "port rewrite on", "dumper-drops", drops(reps[0])},
+		{"rss-rewrite", "port rewrite off", "dumper-drops", drops(reps[1])},
+	}, nil
 }
 
 // AblateAckCoalescing measures control-packet overhead versus the
 // coalescing factor: the ACK count drops with the factor while goodput
 // stays flat.
-func AblateAckCoalescing() []AblationPoint {
+func AblateAckCoalescing() ([]AblationPoint, error) {
 	var out []AblationPoint
 	for _, factor := range []int{1, 4, 16} {
 		prof := rnic.Profiles()[rnic.ModelSpec]
@@ -221,7 +253,7 @@ func AblateAckCoalescing() []AblationPoint {
 			MinRetransmitTimeout: 14, MaxRetransmitRetry: 7,
 		})
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		pair.Start(nil)
 		s.Run()
@@ -231,16 +263,20 @@ func AblateAckCoalescing() []AblationPoint {
 			AblationPoint{"ack-coalesce", fmt.Sprintf("factor %d", factor), "goodput-gbps", pair.Results().Conns[0].GoodputGbps()},
 		)
 	}
-	return out
+	return out, nil
 }
 
 // AblationAll runs every ablation.
-func AblationAll() []AblationPoint {
+func AblationAll() ([]AblationPoint, error) {
 	var out []AblationPoint
-	out = append(out, AblateETSClamp()...)
-	out = append(out, AblateWedge()...)
-	out = append(out, AblateAPM()...)
-	out = append(out, AblateRSSRewrite()...)
-	out = append(out, AblateAckCoalescing()...)
-	return out
+	for _, ablate := range []func() ([]AblationPoint, error){
+		AblateETSClamp, AblateWedge, AblateAPM, AblateRSSRewrite, AblateAckCoalescing,
+	} {
+		pts, err := ablate()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pts...)
+	}
+	return out, nil
 }

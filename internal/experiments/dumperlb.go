@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"github.com/lumina-sim/lumina/internal/config"
-	"github.com/lumina-sim/lumina/internal/orchestrator"
 	"github.com/lumina-sim/lumina/internal/sim"
 )
 
@@ -23,7 +22,7 @@ type DumperLBPoint struct {
 // per-packet load-balanced pool with RSS-defeating port randomization.
 // Success means the three-condition integrity check passes. The paper
 // reports the redesign lifting capture success from ~30% to nearly 100%.
-func DumperLB(runs int) []DumperLBPoint {
+func DumperLB(runs int) ([]DumperLBPoint, error) {
 	if runs <= 0 {
 		runs = 10
 	}
@@ -42,12 +41,12 @@ func DumperLB(runs int) []DumperLBPoint {
 			c.Dumpers.Nodes = 4
 		}},
 	}
-	var out []DumperLBPoint
+	// One flat matrix over (design, seed); results fold back per design.
+	var cfgs []config.Test
 	for _, d := range designs {
-		p := DumperLBPoint{Design: d.name, Runs: runs}
 		for seed := int64(1); seed <= int64(runs); seed++ {
 			cfg := config.Default()
-			cfg.Name = "dumper-lb"
+			cfg.Name = fmt.Sprintf("dumper-lb-%d", seed)
 			cfg.Seed = seed
 			// Line-rate burst: several QPs sending back-to-back, long
 			// enough to overflow any core that ends up carrying more
@@ -57,10 +56,17 @@ func DumperLB(runs int) []DumperLBPoint {
 			cfg.Traffic.MessageSize = 65536
 			cfg.Traffic.TxDepth = 8
 			d.mut(&cfg)
-			rep, err := orchestrator.Run(cfg, orchestrator.Options{Deadline: 120 * sim.Second})
-			if err != nil {
-				panic(err)
-			}
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	reps, err := runAll("dumper-lb", cfgs)
+	if err != nil {
+		return nil, err
+	}
+	var out []DumperLBPoint
+	for di, d := range designs {
+		p := DumperLBPoint{Design: d.name, Runs: runs}
+		for _, rep := range reps[di*runs : (di+1)*runs] {
 			if rep.IntegrityOK {
 				p.CompleteRuns++
 			}
@@ -71,7 +77,7 @@ func DumperLB(runs int) []DumperLBPoint {
 		p.SuccessRatio = float64(p.CompleteRuns) / float64(p.Runs)
 		out = append(out, p)
 	}
-	return out
+	return out, nil
 }
 
 // DumperLBTable renders the comparison.
@@ -98,19 +104,24 @@ type SwitchOverheadPoint struct {
 // SwitchOverhead verifies §5's claim that the full Lumina pipeline adds
 // less than 0.4 µs over plain L2 forwarding, measured as the one-way
 // delivery-latency difference for a single message.
-func SwitchOverhead() SwitchOverheadPoint {
-	measure := func(l2 bool) sim.Duration {
+func SwitchOverhead() (SwitchOverheadPoint, error) {
+	var cfgs []config.Test
+	for _, l2 := range []bool{true, false} {
 		cfg := config.Default()
+		cfg.Name = fmt.Sprintf("switch-overhead-l2=%v", l2)
 		cfg.Traffic.NumConnections = 1
 		cfg.Traffic.NumMsgsPerQP = 1
 		cfg.Traffic.MessageSize = 1024
 		cfg.Switch.L2Only = l2
-		rep := run(cfg)
-		return rep.Traffic.AvgMCT()
+		cfgs = append(cfgs, cfg)
 	}
-	l2 := measure(true)
-	lumina := measure(false)
+	reps, err := runAll("overhead", cfgs)
+	if err != nil {
+		return SwitchOverheadPoint{}, err
+	}
+	l2 := reps[0].Traffic.AvgMCT()
+	lumina := reps[1].Traffic.AvgMCT()
 	// The MCT spans data one way and the ACK back; both directions pay
 	// the pipeline, so halve the difference for the one-way figure.
-	return SwitchOverheadPoint{PipelineNs: 400, OneWayExtra: (lumina - l2) / 2}
+	return SwitchOverheadPoint{PipelineNs: 400, OneWayExtra: (lumina - l2) / 2}, nil
 }

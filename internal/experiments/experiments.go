@@ -7,10 +7,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"github.com/lumina-sim/lumina/internal/config"
+	"github.com/lumina-sim/lumina/internal/engine"
 	"github.com/lumina-sim/lumina/internal/orchestrator"
 	"github.com/lumina-sim/lumina/internal/sim"
 )
@@ -79,15 +82,49 @@ func (t *Table) Render() string {
 	return b.String()
 }
 
-// run executes a configuration with a generous deadline, panicking on
-// orchestration errors: experiment configs are constructed internally,
-// so an error is a programming bug, not user input.
-func run(cfg config.Test) *orchestrator.Report {
-	rep, err := orchestrator.Run(cfg, orchestrator.Options{Deadline: 600 * sim.Second})
-	if err != nil {
-		panic(fmt.Sprintf("experiments: %v", err))
+// workerCount is the package-level engine parallelism: 0 (default)
+// means one worker per CPU, 1 forces the serial path. Because every
+// run is an independent deterministic simulation, the measured rows
+// are byte-identical for every worker count — see runAll.
+var workerCount atomic.Int32
+
+// SetWorkers sets the engine worker-pool size used by every experiment
+// in this package (0 = all CPUs, 1 = serial).
+func SetWorkers(n int) {
+	if n < 0 {
+		n = 0
 	}
-	return rep
+	workerCount.Store(int32(n))
+}
+
+// Workers reports the configured engine worker-pool size.
+func Workers() int { return int(workerCount.Load()) }
+
+// runAll executes a declarative job matrix — the configurations of one
+// experiment, in its natural sweep order — on the shared run engine
+// and returns the reports in submission order. Each configuration is
+// an independent deterministic simulation, so fanning the matrix out
+// over the worker pool cannot change any measured row; the first
+// failure aborts the experiment with the offending job named.
+func runAll(name string, cfgs []config.Test) ([]*orchestrator.Report, error) {
+	reps, err := engine.RunConfigs(context.Background(), cfgs,
+		orchestrator.DefaultOptions(),
+		engine.Options{Workers: Workers()})
+	if err != nil {
+		return nil, fmt.Errorf("experiment %s: %w", name, err)
+	}
+	return reps, nil
+}
+
+// run executes a single configuration on the engine (panic-isolated,
+// same deadline as runAll) and returns orchestration errors instead of
+// panicking, so every figure/table function can thread them up.
+func run(cfg config.Test) (*orchestrator.Report, error) {
+	reps, err := runAll(cfg.Name, []config.Test{cfg})
+	if err != nil {
+		return nil, err
+	}
+	return reps[0], nil
 }
 
 func us(d sim.Duration) string { return fmt.Sprintf("%.2f", d.Microseconds()) }

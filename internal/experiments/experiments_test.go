@@ -13,8 +13,21 @@ import (
 // reproduction contract. Absolute values are the simulator's, not the
 // authors' testbed's.
 
+// must unwraps an experiment's (value, error) pair, failing the test on
+// error so the shape assertions can stay focused on the values. Curried
+// so a multi-value call can feed it directly: must(Figure7(30))(t).
+func must[T any](v T, err error) func(testing.TB) T {
+	return func(tb testing.TB) T {
+		tb.Helper()
+		if err != nil {
+			tb.Fatal(err)
+		}
+		return v
+	}
+}
+
 func TestFigure7Shape(t *testing.T) {
-	pts := Figure7(30)
+	pts := must(Figure7(30))(t)
 	byKey := map[string]sim.Duration{}
 	for _, p := range pts {
 		byKey[string(p.Variant)+"/"+itoa(p.MsgBytes)] = p.AvgMCT
@@ -46,7 +59,7 @@ func TestFigure7Shape(t *testing.T) {
 }
 
 func TestFigures8And9Shape(t *testing.T) {
-	pts := Figures8And9(rnic.HardwareModelNames(), []int{20, 80})
+	pts := must(Figures8And9(rnic.HardwareModelNames(), []int{20, 80}))(t)
 	type key struct{ model, verb string }
 	gen := map[key][]sim.Duration{}
 	react := map[key][]sim.Duration{}
@@ -109,8 +122,8 @@ func TestFigure10Shape(t *testing.T) {
 		t.Fatalf("missing point %v/%d", s, qp)
 		return 0
 	}
-	cx6 := Figure10(rnic.ModelCX6)
-	spec := Figure10(rnic.ModelSpec)
+	cx6 := must(Figure10(rnic.ModelCX6))(t)
+	spec := must(Figure10(rnic.ModelSpec))(t)
 
 	// Experiment 1: both QPs ≈ half line rate on both NICs.
 	for _, pts := range [][]Figure10Point{cx6, spec} {
@@ -143,7 +156,7 @@ func TestFigure10Shape(t *testing.T) {
 }
 
 func TestFigure11Shape(t *testing.T) {
-	pts := Figure11(rnic.ModelCX4, []int{0, 8, 12})
+	pts := must(Figure11(rnic.ModelCX4, []int{0, 8, 12}))(t)
 	if len(pts) != 3 {
 		t.Fatalf("points = %d", len(pts))
 	}
@@ -176,7 +189,7 @@ func TestFigure11Shape(t *testing.T) {
 
 func TestFigure11OtherNICsUnaffected(t *testing.T) {
 	for _, model := range []string{rnic.ModelCX5, rnic.ModelE810} {
-		pts := Figure11(model, []int{12})
+		pts := must(Figure11(model, []int{12}))(t)
 		if pts[0].InnocentSlow {
 			t.Errorf("%s: innocent flows slowed (MCT %v); noisy neighbor is CX4-specific", model, pts[0].InnocentMCT)
 		}
@@ -184,7 +197,7 @@ func TestFigure11OtherNICsUnaffected(t *testing.T) {
 }
 
 func TestInteropShape(t *testing.T) {
-	pts := Interop([]int{4, 16}, false)
+	pts := must(Interop([]int{4, 16}, false))(t)
 	if pts[0].RxDiscards != 0 {
 		t.Errorf("4 QPs: %d discards, want 0", pts[0].RxDiscards)
 	}
@@ -201,7 +214,7 @@ func TestInteropShape(t *testing.T) {
 			float64(pts[1].AvgSlowMCT)/float64(pts[1].AvgCleanMCT))
 	}
 	// The MigReq rewrite eliminates everything.
-	fixed := Interop([]int{16}, true)
+	fixed := must(Interop([]int{16}, true))(t)
 	if fixed[0].RxDiscards != 0 || fixed[0].SlowMsgs != 0 {
 		t.Errorf("MigReq fix: %d discards / %d slow msgs, want 0/0",
 			fixed[0].RxDiscards, fixed[0].SlowMsgs)
@@ -209,7 +222,7 @@ func TestInteropShape(t *testing.T) {
 }
 
 func TestCNPIntervalShape(t *testing.T) {
-	pts := CNPIntervals([]string{rnic.ModelCX5, rnic.ModelE810})
+	pts := must(CNPIntervals([]string{rnic.ModelCX5, rnic.ModelE810}))(t)
 	byModel := map[string]CNPIntervalPoint{}
 	for _, p := range pts {
 		byModel[p.Model] = p
@@ -230,7 +243,7 @@ func TestCNPIntervalShape(t *testing.T) {
 }
 
 func TestCNPScopeMatchesPaper(t *testing.T) {
-	for _, p := range CNPScopes(nil) {
+	for _, p := range must(CNPScopes(nil))(t) {
 		if p.Inferred != p.Expected {
 			t.Errorf("%s: inferred %s, paper says %s", p.Model, p.Inferred, p.Expected)
 		}
@@ -239,7 +252,7 @@ func TestCNPScopeMatchesPaper(t *testing.T) {
 
 func TestAdaptiveRetransShape(t *testing.T) {
 	prof := rnic.Profiles()[rnic.ModelCX6]
-	on := AdaptiveRetrans(rnic.ModelCX6, true, 7)
+	on := must(AdaptiveRetrans(rnic.ModelCX6, true, 7))(t)
 	if len(on) < len(prof.AdaptiveTimeouts) {
 		t.Fatalf("measured %d adaptive timeouts, want ≥ %d", len(on), len(prof.AdaptiveTimeouts))
 	}
@@ -251,7 +264,7 @@ func TestAdaptiveRetransShape(t *testing.T) {
 		}
 	}
 	// With adaptive off, every retry waits the spec RTO.
-	off := AdaptiveRetrans(rnic.ModelCX6, false, 3)
+	off := must(AdaptiveRetrans(rnic.ModelCX6, false, 3))(t)
 	for _, p := range off {
 		ratio := float64(p.Timeout) / float64(p.SpecRTO)
 		if ratio < 0.99 || ratio > 1.05 {
@@ -261,7 +274,7 @@ func TestAdaptiveRetransShape(t *testing.T) {
 }
 
 func TestDumperLBShape(t *testing.T) {
-	pts := DumperLB(8)
+	pts := must(DumperLB(8))(t)
 	if len(pts) != 2 {
 		t.Fatalf("points = %d", len(pts))
 	}
@@ -282,14 +295,14 @@ func TestDumperLBShape(t *testing.T) {
 }
 
 func TestSwitchOverheadClaim(t *testing.T) {
-	p := SwitchOverhead()
+	p := must(SwitchOverhead())(t)
 	if p.OneWayExtra <= 0 || p.OneWayExtra > 400 {
 		t.Fatalf("one-way pipeline overhead %v, want (0, 0.4µs]", p.OneWayExtra)
 	}
 }
 
 func TestTable2MatchesPaper(t *testing.T) {
-	tab := Table2()
+	tab := must(Table2())(t)
 	want := map[string]string{
 		"Non-work conserving ETS (§6.2.1)":  "cx6",
 		"Noisy neighbor (§6.2.2)":           "cx4",
@@ -350,27 +363,27 @@ func itoa(v int) string {
 
 func TestAblationShapes(t *testing.T) {
 	// ETS clamp costs a lone flow roughly half the link.
-	ets := AblateETSClamp()
+	ets := must(AblateETSClamp())(t)
 	if ets[0].Value >= ets[1].Value*0.7 {
 		t.Errorf("clamped lone flow %.1f vs unclamped %.1f: clamp effect missing", ets[0].Value, ets[1].Value)
 	}
 	// The wedge carries essentially all of the noisy-neighbor damage.
-	wedge := AblateWedge()
+	wedge := must(AblateWedge())(t)
 	if wedge[0].Value < 100*wedge[1].Value {
 		t.Errorf("wedged innocent MCT %.2fms vs unlimited-context %.2fms: want ≥100×", wedge[0].Value, wedge[1].Value)
 	}
 	// Strict APM carries all of the interop discards.
-	apm := AblateAPM()
+	apm := must(AblateAPM())(t)
 	if apm[0].Value == 0 || apm[1].Value != 0 {
 		t.Errorf("APM ablation = %v", apm)
 	}
 	// The RSS port rewrite removes the single-flow drop pathology.
-	rss := AblateRSSRewrite()
+	rss := must(AblateRSSRewrite())(t)
 	if rss[0].Value != 0 || rss[1].Value == 0 {
 		t.Errorf("RSS ablation = %v", rss)
 	}
 	// ACK coalescing cuts control packets ~linearly at equal goodput.
-	ack := AblateAckCoalescing()
+	ack := must(AblateAckCoalescing())(t)
 	if ack[0].Value <= ack[2].Value*3 { // factor-1 ACKs ≫ factor-4 ACKs
 		t.Errorf("ack coalescing ablation = %v", ack)
 	}

@@ -34,9 +34,10 @@ type Figure10Point struct {
 // 50 packets of QP0, and (3) a single queue with the same marking. On a
 // work-conserving NIC QP1 absorbs the bandwidth DCQCN takes from QP0 in
 // setting 2; on CX6 Dx it stays clamped at its 50 % guarantee — the bug.
-func Figure10(model string) []Figure10Point {
-	var out []Figure10Point
-	for _, setting := range ETSSettings() {
+func Figure10(model string) ([]Figure10Point, error) {
+	settings := ETSSettings()
+	var cfgs []config.Test
+	for _, setting := range settings {
 		cfg := config.Default()
 		cfg.Name = fmt.Sprintf("fig10-%s-%s", model, setting)
 		cfg.Requester.NIC.Type = model
@@ -61,16 +62,23 @@ func Figure10(model string) []Figure10Point {
 				{QPN: 1, PSN: 1, Type: "ecn", Iter: 1, Every: 50},
 			}
 		}
-		rep := run(cfg)
+		cfgs = append(cfgs, cfg)
+	}
+	reps, err := runAll("fig10", cfgs)
+	if err != nil {
+		return nil, err
+	}
+	var out []Figure10Point
+	for si, rep := range reps {
 		for i := range rep.Traffic.Conns {
 			c := &rep.Traffic.Conns[i]
 			out = append(out, Figure10Point{
-				Model: model, Setting: setting, QP: c.Index,
+				Model: model, Setting: settings[si], QP: c.Index,
 				GoodputGbps: c.GoodputGbps(),
 			})
 		}
 	}
-	return out
+	return out, nil
 }
 
 // Figure10Table renders the goodput bars.

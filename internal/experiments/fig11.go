@@ -27,12 +27,12 @@ type Figure11Point struct {
 // concurrent Read slow paths exhaust shared contexts once i reaches ~12
 // and the stalled pipeline discards innocent connections' packets,
 // sending their MCTs from ~160 µs into the hundreds of milliseconds.
-func Figure11(model string, dropCounts []int) []Figure11Point {
+func Figure11(model string, dropCounts []int) ([]Figure11Point, error) {
 	if len(dropCounts) == 0 {
 		dropCounts = []int{0, 8, 12, 16}
 	}
 	const totalConns = 36
-	var out []Figure11Point
+	var cfgs []config.Test
 	for _, i := range dropCounts {
 		cfg := config.Default()
 		cfg.Name = fmt.Sprintf("fig11-%s-%d", model, i)
@@ -48,7 +48,15 @@ func Figure11(model string, dropCounts []int) []Figure11Point {
 			cfg.Traffic.Events = append(cfg.Traffic.Events,
 				config.Event{QPN: q, PSN: 5, Type: "drop", Iter: 1})
 		}
-		rep := run(cfg)
+		cfgs = append(cfgs, cfg)
+	}
+	reps, err := runAll("fig11", cfgs)
+	if err != nil {
+		return nil, err
+	}
+	var out []Figure11Point
+	for pi, rep := range reps {
+		i := dropCounts[pi]
 
 		var injected, innocent, maxInnocent sim.Duration
 		nInj, nInn := 0, 0
@@ -79,7 +87,7 @@ func Figure11(model string, dropCounts []int) []Figure11Point {
 		p.InnocentSlow = p.InnocentMCT > 10*sim.Millisecond
 		out = append(out, p)
 	}
-	return out
+	return out, nil
 }
 
 // Figure11Table renders the sweep.

@@ -35,11 +35,14 @@ type Figure7Point struct {
 // Figure 7). For the full-Lumina mode, match-action tables are
 // populated with entries that never fire (the paper keeps the tables but
 // disables the exact drop behaviour to avoid retransmissions).
-func Figure7(numMsgs int) []Figure7Point {
+func Figure7(numMsgs int) ([]Figure7Point, error) {
 	if numMsgs <= 0 {
 		numMsgs = 1000
 	}
-	var out []Figure7Point
+	// Declarative job matrix: one configuration per (size, variant)
+	// sweep point, fanned out by runAll.
+	var cfgs []config.Test
+	var points []Figure7Point
 	for _, size := range []int{1024, 10240, 102400} {
 		for _, v := range Figure7Variants() {
 			cfg := config.Default()
@@ -69,13 +72,18 @@ func Figure7(numMsgs int) []Figure7Point {
 			}
 			// Events with PSN beyond the stream cannot pass validation's
 			// packet-count bound? They can: validation only bounds QPN.
-			rep := run(cfg)
-			out = append(out, Figure7Point{
-				MsgBytes: size, Variant: v, AvgMCT: rep.Traffic.AvgMCT(),
-			})
+			cfgs = append(cfgs, cfg)
+			points = append(points, Figure7Point{MsgBytes: size, Variant: v})
 		}
 	}
-	return out
+	reps, err := runAll("fig7", cfgs)
+	if err != nil {
+		return nil, err
+	}
+	for i, rep := range reps {
+		points[i].AvgMCT = rep.Traffic.AvgMCT()
+	}
+	return points, nil
 }
 
 // Figure7Table formats the points as the paper's figure data.

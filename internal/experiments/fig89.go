@@ -29,14 +29,15 @@ func DefaultDropPositions() []int { return []int{1, 20, 40, 60, 80, 99} }
 // 100 packets), the injector drops the packet at the requested relative
 // PSN, and the retransmission analyzer extracts the Figure 5 breakdown
 // from the reconstructed trace.
-func Figures8And9(models []string, positions []int) []RetransPoint {
+func Figures8And9(models []string, positions []int) ([]RetransPoint, error) {
 	if len(models) == 0 {
 		models = rnic.HardwareModelNames()
 	}
 	if len(positions) == 0 {
 		positions = DefaultDropPositions()
 	}
-	var out []RetransPoint
+	var cfgs []config.Test
+	var points []RetransPoint
 	for _, model := range models {
 		for _, verb := range []string{"write", "read"} {
 			for _, pos := range positions {
@@ -56,18 +57,22 @@ func Figures8And9(models []string, positions []int) []RetransPoint {
 				cfg.Traffic.Events = []config.Event{
 					{QPN: 1, PSN: pos, Type: "drop", Iter: 1},
 				}
-				rep := run(cfg)
-				evs := analyzer.AnalyzeRetransmissions(rep.Trace)
-				p := RetransPoint{Model: model, Verb: verb, DropPos: pos}
-				if len(evs) == 1 {
-					p.Gen = evs[0].GenLatency()
-					p.React = evs[0].ReactLatency()
-				}
-				out = append(out, p)
+				cfgs = append(cfgs, cfg)
+				points = append(points, RetransPoint{Model: model, Verb: verb, DropPos: pos})
 			}
 		}
 	}
-	return out
+	reps, err := runAll("fig89", cfgs)
+	if err != nil {
+		return nil, err
+	}
+	for i, rep := range reps {
+		if evs := analyzer.AnalyzeRetransmissions(rep.Trace); len(evs) == 1 {
+			points[i].Gen = evs[0].GenLatency()
+			points[i].React = evs[0].ReactLatency()
+		}
+	}
+	return points, nil
 }
 
 // Figure8Table renders the NACK-generation series.

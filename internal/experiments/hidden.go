@@ -24,11 +24,11 @@ type CNPIntervalPoint struct {
 // measure the spacing between consecutive CNPs in the trace. E810's
 // undocumented ~50 µs floor shows up here; NVIDIA NICs honor the
 // configured value.
-func CNPIntervals(models []string) []CNPIntervalPoint {
+func CNPIntervals(models []string) ([]CNPIntervalPoint, error) {
 	if len(models) == 0 {
 		models = rnic.HardwareModelNames()
 	}
-	var out []CNPIntervalPoint
+	var cfgs []config.Test
 	for _, model := range models {
 		cfg := config.Default()
 		cfg.Name = "cnp-interval-" + model
@@ -46,17 +46,24 @@ func CNPIntervals(models []string) []CNPIntervalPoint {
 		cfg.Traffic.Events = []config.Event{
 			{QPN: 1, PSN: 1, Type: "ecn", Iter: 1, Every: 1},
 		}
-		rep := run(cfg)
+		cfgs = append(cfgs, cfg)
+	}
+	reps, err := runAll("cnp-interval", cfgs)
+	if err != nil {
+		return nil, err
+	}
+	var out []CNPIntervalPoint
+	for i, rep := range reps {
 		cr := analyzer.AnalyzeCNP(rep.Trace)
-		respIP := cfg.Responder.NIC.IPList[0].String()
+		respIP := cfgs[i].Responder.NIC.IPList[0].String()
 		out = append(out, CNPIntervalPoint{
-			Model:       model,
+			Model:       models[i],
 			MinInterval: cr.MinIntervalPerPort,
 			CNPs:        cr.TotalCNPs(),
 			Marked:      cr.ECNMarked[respIP],
 		})
 	}
-	return out
+	return out, nil
 }
 
 // CNPIntervalTable renders the probe.
@@ -96,11 +103,12 @@ func cnpScopeExpected() map[string]string {
 // requester), then classify the scope at which the minimum CNP spacing
 // is enforced. Expected per the paper: CX4 Lx per destination IP, E810
 // per QP, CX5/CX6 Dx per NIC port.
-func CNPScopes(models []string) []CNPScopePoint {
+func CNPScopes(models []string) ([]CNPScopePoint, error) {
 	if len(models) == 0 {
 		models = rnic.HardwareModelNames()
 	}
-	var out []CNPScopePoint
+	var cfgs []config.Test
+	var limits []sim.Duration
 	for _, model := range models {
 		prof, _ := rnic.ProfileByName(model)
 		// Pick the discrimination interval: ask for 20 µs where the knob
@@ -132,15 +140,23 @@ func CNPScopes(models []string) []CNPScopePoint {
 			cfg.Traffic.Events = append(cfg.Traffic.Events,
 				config.Event{QPN: q, PSN: 1, Type: "ecn", Iter: 1, Every: 1})
 		}
-		rep := run(cfg)
+		cfgs = append(cfgs, cfg)
+		limits = append(limits, limit)
+	}
+	reps, err := runAll("cnp-scope", cfgs)
+	if err != nil {
+		return nil, err
+	}
+	var out []CNPScopePoint
+	for i, rep := range reps {
 		cr := analyzer.AnalyzeCNP(rep.Trace)
 		out = append(out, CNPScopePoint{
-			Model:    model,
-			Inferred: cr.InferScope(limit),
-			Expected: cnpScopeExpected()[model],
+			Model:    models[i],
+			Inferred: cr.InferScope(limits[i]),
+			Expected: cnpScopeExpected()[models[i]],
 		})
 	}
-	return out
+	return out, nil
 }
 
 // CNPScopeTable renders the classification.
@@ -171,7 +187,7 @@ type AdaptiveRetransPoint struct {
 // NICs follow an undocumented schedule (CX6 Dx: 5.6, 4.1, 8.4, 16.7,
 // 25.1, 67.1, 134.2 ms) and retry 8–13 times; with it off, behaviour
 // follows the IB specification exactly.
-func AdaptiveRetrans(model string, adaptive bool, drops int) []AdaptiveRetransPoint {
+func AdaptiveRetrans(model string, adaptive bool, drops int) ([]AdaptiveRetransPoint, error) {
 	if drops <= 0 {
 		drops = 7
 	}
@@ -191,7 +207,10 @@ func AdaptiveRetrans(model string, adaptive bool, drops int) []AdaptiveRetransPo
 		cfg.Traffic.Events = append(cfg.Traffic.Events,
 			config.Event{QPN: 1, PSN: lastPkt, Type: "drop", Iter: it})
 	}
-	rep := run(cfg)
+	rep, err := run(cfg)
+	if err != nil {
+		return nil, err
+	}
 
 	// Identify the dropped PSN, then collect every transmission of it:
 	// the gaps are the per-retry timeouts.
@@ -222,7 +241,7 @@ func AdaptiveRetrans(model string, adaptive bool, drops int) []AdaptiveRetransPo
 			Timeout: times[i].Sub(times[i-1]), SpecRTO: specRTO,
 		})
 	}
-	return out
+	return out, nil
 }
 
 // AdaptiveRetransTable renders the measured timeouts.

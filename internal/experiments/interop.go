@@ -25,11 +25,11 @@ type InteropPoint struct {
 // (rx_discards_phy), inflating the affected messages' completion times
 // by orders of magnitude; rewriting MigReq to 1 in flight (the Lumina
 // action added to confirm the root cause) eliminates the discards.
-func Interop(qpCounts []int, fixMigReq bool) []InteropPoint {
+func Interop(qpCounts []int, fixMigReq bool) ([]InteropPoint, error) {
 	if len(qpCounts) == 0 {
 		qpCounts = []int{1, 2, 4, 8, 16, 24}
 	}
-	var out []InteropPoint
+	var cfgs []config.Test
 	for _, n := range qpCounts {
 		cfg := config.Default()
 		cfg.Name = fmt.Sprintf("interop-%dqp", n)
@@ -52,8 +52,15 @@ func Interop(qpCounts []int, fixMigReq bool) []InteropPoint {
 					config.Event{QPN: q, PSN: 1, Type: "set-migreq", Iter: 1, Every: 1})
 			}
 		}
-		rep := run(cfg)
-
+		cfgs = append(cfgs, cfg)
+	}
+	reps, err := runAll("interop", cfgs)
+	if err != nil {
+		return nil, err
+	}
+	var out []InteropPoint
+	for pi, rep := range reps {
+		n := qpCounts[pi]
 		p := InteropPoint{
 			QPs: n, FixMigReq: fixMigReq,
 			RxDiscards: rep.ResponderCounters[rnic.CtrRxDiscardsPhy],
@@ -80,7 +87,7 @@ func Interop(qpCounts []int, fixMigReq bool) []InteropPoint {
 		p.SlowMsgs = nSlow
 		out = append(out, p)
 	}
-	return out
+	return out, nil
 }
 
 // InteropTable renders the sweep.

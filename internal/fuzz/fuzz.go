@@ -9,10 +9,12 @@
 package fuzz
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"github.com/lumina-sim/lumina/internal/config"
+	"github.com/lumina-sim/lumina/internal/engine"
 	"github.com/lumina-sim/lumina/internal/orchestrator"
 	"github.com/lumina-sim/lumina/internal/sim"
 )
@@ -59,11 +61,21 @@ type Options struct {
 	// StopAtFirstAnomaly ends the search as soon as one anomaly is found
 	// (Algorithm 1's "until anomaly found or timeout").
 	StopAtFirstAnomaly bool
+	// Generation is the number of candidates drawn and evaluated per
+	// round (default 8). It is an algorithm property: changing it
+	// changes the search trajectory; changing Workers never does.
+	Generation int
+	// Workers is the engine worker-pool size used to evaluate a
+	// generation (0 = one per CPU, 1 = serial). Because every
+	// evaluation is an independent deterministic simulation and all
+	// search randomness is drawn before a generation fans out, the
+	// result is byte-identical for every worker count.
+	Workers int
 }
 
 // DefaultOptions mirror the paper's usage: small pool, mild diversity.
 func DefaultOptions() Options {
-	return Options{Seed: 1, PoolSize: 6, AcceptProb: 0.2, Deadline: 120 * sim.Second}
+	return Options{Seed: 1, PoolSize: 6, AcceptProb: 0.2, Deadline: 120 * sim.Second, Generation: 8}
 }
 
 // Finding is one anomalous configuration.
@@ -114,6 +126,12 @@ func New(target Target, opts Options) (*Fuzzer, error) {
 	if opts.Deadline <= 0 {
 		opts.Deadline = 120 * sim.Second
 	}
+	if opts.Generation <= 0 {
+		opts.Generation = 8
+	}
+	if opts.Workers < 0 {
+		opts.Workers = 0
+	}
 	return &Fuzzer{target: target, opts: opts, rng: sim.NewRNG(opts.Seed)}, nil
 }
 
@@ -148,22 +166,33 @@ func (f *Fuzzer) mutate(g Genome) Genome {
 	return out
 }
 
-// evaluate runs one configuration and scores it.
-func (f *Fuzzer) evaluate(g Genome) (float64, *orchestrator.Report, error) {
-	cfg := f.target.Build(g)
-	// Derive a per-evaluation seed from the genome so identical genomes
-	// reproduce identical runs regardless of search order.
+// evalSeed derives a per-evaluation seed from the genome so identical
+// genomes reproduce identical runs regardless of search order.
+func evalSeed(g Genome) int64 {
 	seed := int64(1)
 	for _, v := range g {
 		seed = seed*1000003 + int64(v) + 7
 	}
-	cfg.Seed = seed
-	rep, err := orchestrator.Run(cfg, orchestrator.Options{Deadline: f.opts.Deadline})
-	if err != nil {
-		return 0, nil, err
+	return seed
+}
+
+// evaluateAll fans one generation of genomes out over the run engine
+// and returns the per-genome results in submission order. Evaluations
+// consume no search RNG — each run's seed is a pure function of its
+// genome — so the pool trajectory is independent of how (or in what
+// order) the generation actually executed.
+func (f *Fuzzer) evaluateAll(gs []Genome) []engine.JobResult {
+	jobs := make([]engine.Job, len(gs))
+	for i, g := range gs {
+		cfg := f.target.Build(g)
+		cfg.Seed = evalSeed(g)
+		jobs[i] = engine.Job{
+			Label: fmt.Sprintf("%s %v", f.target.Name, g),
+			Cfg:   cfg,
+			Opts:  orchestrator.Options{Deadline: f.opts.Deadline},
+		}
 	}
-	f.res.Evaluations++
-	return f.target.Score(g, rep), rep, nil
+	return engine.Run(context.Background(), jobs, engine.Options{Workers: f.opts.Workers})
 }
 
 func (f *Fuzzer) medianScore() float64 {
@@ -192,43 +221,84 @@ func (f *Fuzzer) record(g Genome, score float64, rep *orchestrator.Report) {
 	}
 }
 
-// Run executes up to iters mutation rounds (after seeding the pool) and
-// returns the accumulated result. It follows Algorithm 1:
+// candidate is one drawn-but-not-yet-merged genome. The accept coin is
+// drawn unconditionally in the draw phase — before any evaluation — so
+// the search RNG stream never depends on scores and a generation can
+// fan out over the worker pool without perturbing the trajectory.
+type candidate struct {
+	genome Genome
+	coin   float64
+}
+
+// mergeGeneration consumes one generation's results in submission
+// order: score, pool admission against the current (growing) median,
+// recording, and the early-stop check. init admits unconditionally
+// (pool initialization). It reports whether the search should stop;
+// results past the stopping point are discarded unseen and uncounted,
+// exactly as a serial loop would never have evaluated them.
+func (f *Fuzzer) mergeGeneration(cands []candidate, results []engine.JobResult, init bool) (bool, error) {
+	for i, c := range cands {
+		r := &results[i]
+		if r.Err != nil {
+			return true, fmt.Errorf("fuzz %s: evaluating %v: %w", f.target.Name, c.genome, r.Err)
+		}
+		score := f.target.Score(c.genome, r.Report)
+		f.res.Evaluations++
+		if init || score >= f.medianScore() || c.coin < f.opts.AcceptProb {
+			f.pool = append(f.pool, member{c.genome, score})
+		}
+		f.record(c.genome, score, r.Report)
+		if f.opts.StopAtFirstAnomaly && len(f.res.Findings) > 0 {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Run executes up to iters mutation evaluations (after seeding the
+// pool) and returns the accumulated result. It follows Algorithm 1:
 //
 //	Γ ← initialize a pool of configs
 //	repeat: γ ← random pick; γ* ← mutate(γ); run; Δ ← score
 //	        if Δ ≥ median(Γ): Γ += γ*  else: Γ += γ* with probability p
 //	until anomaly found or timeout
+//
+// generationally: each round draws up to Options.Generation candidates
+// (parent picks, mutations, and accept coins — all of the round's
+// randomness) against the pool as it stood at the round's start, fans
+// the evaluations out over the run engine, and merges the results in
+// draw order. Evaluations consume no search RNG, so the result is
+// identical for every worker count.
 func (f *Fuzzer) Run(iters int) (*Result, error) {
-	// Initialization.
-	for len(f.pool) < f.opts.PoolSize {
-		g := f.randomGenome()
-		score, rep, err := f.evaluate(g)
-		if err != nil {
-			return nil, err
-		}
-		f.pool = append(f.pool, member{g, score})
-		f.record(g, score, rep)
-		if f.opts.StopAtFirstAnomaly && len(f.res.Findings) > 0 {
-			f.finish()
-			return &f.res, nil
-		}
+	// Initialization: one generation of uniform samples, admitted
+	// unconditionally.
+	var seeds []candidate
+	for len(seeds)+len(f.pool) < f.opts.PoolSize {
+		seeds = append(seeds, candidate{genome: f.randomGenome()})
 	}
-	// Mutation loop.
-	for it := 0; it < iters; it++ {
-		parent := f.pool[f.rng.Intn(len(f.pool))]
-		child := f.mutate(parent.genome)
-		score, rep, err := f.evaluate(child)
+	gs := make([]Genome, len(seeds))
+	for i, c := range seeds {
+		gs[i] = c.genome
+	}
+	stop, err := f.mergeGeneration(seeds, f.evaluateAll(gs), true)
+	if err != nil {
+		return nil, err
+	}
+	// Mutation generations.
+	for done := 0; done < iters && !stop; {
+		n := min(f.opts.Generation, iters-done)
+		cands := make([]candidate, n)
+		gs := make([]Genome, n)
+		for i := range cands {
+			parent := f.pool[f.rng.Intn(len(f.pool))]
+			cands[i] = candidate{genome: f.mutate(parent.genome), coin: f.rng.Float64()}
+			gs[i] = cands[i].genome
+		}
+		stop, err = f.mergeGeneration(cands, f.evaluateAll(gs), false)
 		if err != nil {
 			return nil, err
 		}
-		if score >= f.medianScore() || f.rng.Float64() < f.opts.AcceptProb {
-			f.pool = append(f.pool, member{child, score})
-		}
-		f.record(child, score, rep)
-		if f.opts.StopAtFirstAnomaly && len(f.res.Findings) > 0 {
-			break
-		}
+		done += n
 	}
 	f.finish()
 	return &f.res, nil
@@ -242,17 +312,3 @@ func (f *Fuzzer) finish() {
 
 // PoolSize reports the current pool population (diagnostics).
 func (f *Fuzzer) PoolSize() int { return len(f.pool) }
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

@@ -1,6 +1,7 @@
 package fuzz
 
 import (
+	"fmt"
 	"testing"
 
 	"github.com/lumina-sim/lumina/internal/analyzer"
@@ -77,6 +78,36 @@ func TestFuzzerDeterministic(t *testing.T) {
 	}
 	if len(a.Findings) != len(b.Findings) {
 		t.Fatalf("finding counts differ: %d vs %d", len(a.Findings), len(b.Findings))
+	}
+}
+
+func TestFuzzerIdenticalAcrossWorkerCounts(t *testing.T) {
+	// The worker count is an execution detail: all search randomness is
+	// drawn before a generation fans out, and every evaluation's seed is
+	// a pure function of its genome, so the full search trajectory must
+	// be identical for any pool size.
+	run := func(workers int) string {
+		f, err := New(toyTarget(), Options{Seed: 9, PoolSize: 4, AcceptProb: 0.3,
+			Generation: 6, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := f.Run(30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := fmt.Sprintf("evals=%d best=%v@%v pool=%d findings=",
+			res.Evaluations, res.BestScore, res.BestGenome, f.PoolSize())
+		for _, fd := range res.Findings {
+			s += fmt.Sprintf("%v:%v;", fd.Genome, fd.Score)
+		}
+		return s
+	}
+	serial := run(1)
+	for _, workers := range []int{8, 0} {
+		if got := run(workers); got != serial {
+			t.Errorf("workers=%d diverged:\nserial:   %s\nparallel: %s", workers, serial, got)
+		}
 	}
 }
 

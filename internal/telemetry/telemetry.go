@@ -45,6 +45,7 @@ const (
 	KindNICWedge     Kind = "nic.wedge"        // RX pipeline wedge span
 	KindTracePkt     Kind = "trace.pkt"        // packet synthesized from a captured trace
 	KindVerdict      Kind = "analyzer.verdict" // post-run analyzer pass/fail instants
+	KindEngineJob    Kind = "engine.job"       // run-engine job completion (index, attempts, status)
 )
 
 // Field is one key/value annotation on an event. Val carries numeric

@@ -24,10 +24,12 @@
 package lumina
 
 import (
+	"context"
 	"io"
 
 	"github.com/lumina-sim/lumina/internal/analyzer"
 	"github.com/lumina-sim/lumina/internal/config"
+	"github.com/lumina-sim/lumina/internal/engine"
 	"github.com/lumina-sim/lumina/internal/fuzz"
 	"github.com/lumina-sim/lumina/internal/lineage"
 	"github.com/lumina-sim/lumina/internal/orchestrator"
@@ -148,6 +150,17 @@ func RunFile(path string) (*Report, error) {
 		return nil, err
 	}
 	return Run(cfg)
+}
+
+// RunAll executes a batch of tests on the deterministic parallel run
+// engine (workers: 0 = one per CPU, 1 = serial) and returns the
+// reports in input order. Every run is an independent deterministic
+// simulation, so the artifacts are byte-identical for every worker
+// count; the first failure aborts the batch with the offending job
+// named.
+func RunAll(cfgs []Config, workers int) ([]*Report, error) {
+	return engine.RunConfigs(context.Background(), cfgs,
+		orchestrator.DefaultOptions(), engine.Options{Workers: workers})
 }
 
 // CheckGoBackN validates a trace against the Go-back-N retransmission

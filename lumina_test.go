@@ -38,6 +38,38 @@ func TestFacadeQuickstartFlow(t *testing.T) {
 	}
 }
 
+func TestFacadeRunAll(t *testing.T) {
+	// A small batch across the engine: reports come back in input order
+	// with per-config artifacts identical to individual Run calls.
+	var cfgs []lumina.Config
+	for _, model := range []string{lumina.ModelCX5, lumina.ModelE810} {
+		cfg := lumina.DefaultConfig()
+		cfg.Name = "runall-" + model
+		cfg.Requester.NIC.Type = model
+		cfg.Responder.NIC.Type = model
+		cfgs = append(cfgs, cfg)
+	}
+	reps, err := lumina.RunAll(cfgs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != len(cfgs) {
+		t.Fatalf("reports = %d, want %d", len(reps), len(cfgs))
+	}
+	for i, rep := range reps {
+		if rep.Config.Name != cfgs[i].Name {
+			t.Fatalf("report %d is %q, want %q (submission order)", i, rep.Config.Name, cfgs[i].Name)
+		}
+		solo, err := lumina.Run(cfgs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Traffic.AvgMCT() != solo.Traffic.AvgMCT() || rep.IntegrityOK != solo.IntegrityOK {
+			t.Fatalf("%s: batched run differs from serial run", cfgs[i].Name)
+		}
+	}
+}
+
 func TestFacadeRunFile(t *testing.T) {
 	src := `
 name: file-test
