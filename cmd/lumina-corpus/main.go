@@ -1,0 +1,218 @@
+// Command lumina-corpus drives the regression corpus: the on-disk,
+// content-addressed store of minimized anomalous scenarios with golden
+// verdicts and summary digests (internal/corpus), closing the paper's
+// fuzz → minimize → admit → replay loop.
+//
+// Usage:
+//
+//	lumina-corpus add     [-corpus dir] [-minimize] [-workers N] cfg.yaml...
+//	lumina-corpus minimize [-workers N] [-out file] cfg.yaml
+//	lumina-corpus replay  [-corpus dir] [-profiles cx4,cx5,...] [-workers N]
+//	lumina-corpus list    [-corpus dir]
+//
+// replay exits non-zero if any (entry, profile) cell drifts from its
+// golden, making the corpus a CI gate against behavioural regressions.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/lumina-sim/lumina/internal/config"
+	"github.com/lumina-sim/lumina/internal/corpus"
+	"github.com/lumina-sim/lumina/internal/minimize"
+	"github.com/lumina-sim/lumina/internal/rnic"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "add":
+		err = cmdAdd(os.Args[2:])
+	case "minimize":
+		err = cmdMinimize(os.Args[2:])
+	case "replay":
+		err = cmdReplay(os.Args[2:])
+	case "list":
+		err = cmdList(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "lumina-corpus: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lumina-corpus:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  lumina-corpus add      [-corpus dir] [-minimize] [-workers N] cfg.yaml...
+  lumina-corpus minimize [-workers N] [-out file] cfg.yaml
+  lumina-corpus replay   [-corpus dir] [-profiles cx4,cx5,...] [-workers N]
+  lumina-corpus list     [-corpus dir]`)
+}
+
+// parseProfiles validates a comma-separated model list against the
+// built-in profile table (empty = all models).
+func parseProfiles(csv string) ([]string, error) {
+	if csv == "" {
+		return nil, nil
+	}
+	var out []string
+	for _, p := range strings.Split(csv, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		if _, err := rnic.ProfileByName(p); err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+func cmdAdd(args []string) error {
+	fs := flag.NewFlagSet("add", flag.ExitOnError)
+	dir := fs.String("corpus", "corpus", "corpus directory")
+	doMin := fs.Bool("minimize", false, "delta-debug each scenario to a minimal reproducer before admitting")
+	workers := fs.Int("workers", 0, "engine worker-pool size: 0 = one per CPU, 1 = serial")
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		return errors.New("add: no scenario files given")
+	}
+	for _, path := range fs.Args() {
+		cfg, err := config.Load(path)
+		if err != nil {
+			return err
+		}
+		meta := corpus.Meta{Name: cfg.Name, Target: "manual"}
+		if *doMin {
+			res, err := minimize.Minimize(cfg, minimize.Options{Workers: *workers})
+			switch {
+			case errors.Is(err, minimize.ErrNoAnomaly):
+				fmt.Printf("%s: no anomaly; admitting unminimized\n", path)
+			case err != nil:
+				return fmt.Errorf("%s: %w", path, err)
+			default:
+				fmt.Printf("%s: minimized %d→%d events (%d evaluations, anomaly %s)\n",
+					path, res.InitialEvents, res.FinalEvents, res.Evaluations, res.Anomaly)
+				cfg = res.Config
+			}
+		}
+		entry, added, err := corpus.Add(*dir, cfg, meta, corpus.RunOptions{Workers: *workers})
+		if err != nil {
+			return err
+		}
+		if added {
+			fmt.Printf("added %s  %s  (%d profiles)\n", entry.ID, entry.Expected.Name, len(entry.Expected.Profiles))
+		} else {
+			fmt.Printf("duplicate %s  %s (already in corpus)\n", entry.ID, entry.Expected.Name)
+		}
+	}
+	return nil
+}
+
+func cmdMinimize(args []string) error {
+	fs := flag.NewFlagSet("minimize", flag.ExitOnError)
+	workers := fs.Int("workers", 0, "engine worker-pool size: 0 = one per CPU, 1 = serial")
+	out := fs.String("out", "", "write the minimized scenario YAML here (default: stdout)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return errors.New("minimize: exactly one scenario file required")
+	}
+	cfg, err := config.Load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	res, err := minimize.Minimize(cfg, minimize.Options{Workers: *workers})
+	if err != nil {
+		return err
+	}
+	for _, s := range res.Steps {
+		kept := " "
+		if s.Kept {
+			kept = "*"
+		}
+		fmt.Printf("%s round %2d %-11s %-40s events=%d\n", kept, s.Round, s.Action, s.Detail, s.Events)
+	}
+	fmt.Printf("minimized %d→%d events in %d evaluations; preserved anomaly: %s\n",
+		res.InitialEvents, res.FinalEvents, res.Evaluations, res.Anomaly)
+	yml, err := res.Config.MarshalYAML()
+	if err != nil {
+		return err
+	}
+	if *out == "" {
+		fmt.Print(string(yml))
+		return nil
+	}
+	if err := os.WriteFile(*out, yml, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (replay with: lumina -config %s)\n", *out, *out)
+	return nil
+}
+
+func cmdReplay(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	dir := fs.String("corpus", "corpus", "corpus directory")
+	profCSV := fs.String("profiles", "", "comma-separated NIC models to replay against (default: all)")
+	workers := fs.Int("workers", 0, "engine worker-pool size: 0 = one per CPU, 1 = serial (matrix is identical for every value)")
+	fs.Parse(args)
+	profiles, err := parseProfiles(*profCSV)
+	if err != nil {
+		return err
+	}
+	m, err := corpus.Replay(context.Background(), *dir,
+		corpus.ReplayOptions{Profiles: profiles, Workers: *workers})
+	if err != nil {
+		return err
+	}
+	if err := m.Render(os.Stdout); err != nil {
+		return err
+	}
+	if !m.OK() {
+		return fmt.Errorf("%d cell(s) drifted from golden behaviour", m.Drift())
+	}
+	return nil
+}
+
+func cmdList(args []string) error {
+	fs := flag.NewFlagSet("list", flag.ExitOnError)
+	dir := fs.String("corpus", "corpus", "corpus directory")
+	fs.Parse(args)
+	entries, err := corpus.List(*dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		fmt.Printf("%s  %-24s %d event(s), %d profile(s), target=%s",
+			e.ID, e.Expected.Name, len(e.Config.Traffic.Events), len(e.Expected.Profiles), e.Expected.Target)
+		if e.Expected.Score != 0 {
+			fmt.Printf(", score=%.2f", e.Expected.Score)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("%d entr%s\n", len(entries), plural(len(entries)))
+	return nil
+}
+
+func plural(n int) string {
+	if n == 1 {
+		return "y"
+	}
+	return "ies"
+}

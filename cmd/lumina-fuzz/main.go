@@ -5,9 +5,18 @@
 //
 //	lumina-fuzz -target noisy-neighbor -model cx4 -iters 40 [-seed 7]
 //	lumina-fuzz -target counter-bugs -model e810 -iters 30
+//	lumina-fuzz -target noisy-neighbor -model cx4 -corpus corpus
+//
+// Findings are always persisted as JSON (-findings, default
+// findings.json) so a long run's results survive terminal scrollback;
+// with -corpus each finding is additionally delta-debugged to a minimal
+// reproducer and admitted into the content-addressed regression corpus
+// (duplicates by content hash are skipped).
 package main
 
 import (
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -15,10 +24,38 @@ import (
 
 	lumina "github.com/lumina-sim/lumina"
 	"github.com/lumina-sim/lumina/internal/analyzer"
+	"github.com/lumina-sim/lumina/internal/corpus"
 	"github.com/lumina-sim/lumina/internal/fuzz"
+	"github.com/lumina-sim/lumina/internal/minimize"
 	"github.com/lumina-sim/lumina/internal/orchestrator"
 	"github.com/lumina-sim/lumina/internal/sim"
 )
+
+// findingRecord is one finding in the findings JSON file: everything
+// needed to reproduce the run without re-searching.
+type findingRecord struct {
+	Rank       int            `json:"rank"`
+	Score      float64        `json:"score"`
+	Genome     []int          `json:"genome"`
+	Params     map[string]int `json:"params"`
+	ConfigYAML string         `json:"config_yaml"`
+	// CorpusID is the content address the finding was admitted under,
+	// when -corpus was given.
+	CorpusID string `json:"corpus_id,omitempty"`
+}
+
+// findingsFile is the schema of the -findings output.
+type findingsFile struct {
+	Schema      string          `json:"schema"`
+	Target      string          `json:"target"`
+	Model       string          `json:"model"`
+	Seed        int64           `json:"seed"`
+	Iters       int             `json:"iters"`
+	Evaluations int             `json:"evaluations"`
+	BestScore   float64         `json:"best_score"`
+	BestGenome  []int           `json:"best_genome"`
+	Findings    []findingRecord `json:"findings"`
+}
 
 func main() {
 	targetName := flag.String("target", "noisy-neighbor", "noisy-neighbor | counter-bugs")
@@ -29,6 +66,8 @@ func main() {
 	saveDir := flag.String("save", "", "directory to save anomalous configs as replayable YAML")
 	workers := flag.Int("workers", 0, "engine worker-pool size for evaluating a generation: 0 = one per CPU, 1 = serial (findings are identical for every value)")
 	generation := flag.Int("generation", 8, "evaluations drawn per search round (an algorithm knob, unlike -workers)")
+	findingsPath := flag.String("findings", "findings.json", "write all findings as JSON here ('' disables); long runs are not lossy on scrollback")
+	corpusDir := flag.String("corpus", "", "regression corpus directory: minimize each finding and admit it (dedup by content hash)")
 	flag.Parse()
 
 	var target fuzz.Target
@@ -65,11 +104,32 @@ func main() {
 	}
 	fmt.Printf("evaluations: %d  best score: %.2f  best genome: %v\n",
 		res.Evaluations, res.BestScore, res.BestGenome)
+
+	out := findingsFile{
+		Schema: "lumina-findings/1", Target: target.Name, Model: *model,
+		Seed: *seed, Iters: *iters, Evaluations: res.Evaluations,
+		BestScore: res.BestScore, BestGenome: res.BestGenome,
+	}
+	for i, fd := range res.Findings {
+		rec := findingRecord{Rank: i + 1, Score: fd.Score, Genome: fd.Genome,
+			Params: map[string]int{}}
+		for pi, p := range target.Params {
+			rec.Params[p.Name] = fd.Genome[pi]
+		}
+		cfg := target.Build(fd.Genome)
+		cfg.Seed = fd.Report.Config.Seed
+		cfg.Name = fmt.Sprintf("%s-finding-%d", target.Name, i+1)
+		if yml, err := cfg.MarshalYAML(); err == nil {
+			rec.ConfigYAML = string(yml)
+		}
+		out.Findings = append(out.Findings, rec)
+	}
+
 	if len(res.Findings) == 0 {
 		fmt.Println("no anomalies crossed the threshold")
-		return
+	} else {
+		fmt.Printf("%d anomalies found:\n", len(res.Findings))
 	}
-	fmt.Printf("%d anomalies found:\n", len(res.Findings))
 	for i, fd := range res.Findings {
 		fmt.Printf("  #%d score=%.2f genome=%v", i+1, fd.Score, fd.Genome)
 		for pi, p := range target.Params {
@@ -77,27 +137,77 @@ func main() {
 		}
 		fmt.Println()
 		if *saveDir != "" && i < 20 {
-			cfg := target.Build(fd.Genome)
-			cfg.Name = fmt.Sprintf("%s-finding-%d", target.Name, i+1)
-			yml, err := cfg.MarshalYAML()
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "marshal:", err)
-				continue
-			}
-			if err := os.MkdirAll(*saveDir, 0o755); err != nil {
+			if err := saveYAML(*saveDir, &out.Findings[i]); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
-			path := filepath.Join(*saveDir, cfg.Name+".yaml")
-			if err := os.WriteFile(path, yml, 0o644); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			fmt.Printf("     saved: %s (replay with: lumina -config %s)\n", path, path)
 		}
-		if i >= 9 && *saveDir == "" {
+		if *corpusDir != "" {
+			admit(*corpusDir, fd, &out.Findings[i], target.Name, *workers)
+		}
+		if i >= 9 && *saveDir == "" && *corpusDir == "" {
 			fmt.Printf("  … and %d more\n", len(res.Findings)-10)
 			break
 		}
+	}
+
+	if *findingsPath != "" {
+		js, err := json.MarshalIndent(&out, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		js = append(js, '\n')
+		if err := os.WriteFile(*findingsPath, js, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("findings written to %s (%d finding(s))\n", *findingsPath, len(out.Findings))
+	}
+}
+
+// saveYAML writes one finding's scenario next to the others in dir.
+func saveYAML(dir string, rec *findingRecord) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	name := fmt.Sprintf("finding-%d.yaml", rec.Rank)
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(rec.ConfigYAML), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("     saved: %s (replay with: lumina -config %s)\n", path, path)
+	return nil
+}
+
+// admit minimizes one finding and stores it in the regression corpus;
+// failures are reported but do not abort the remaining findings.
+func admit(dir string, fd fuzz.Finding, rec *findingRecord, targetName string, workers int) {
+	cfg := fd.Report.Config
+	mres, err := minimize.Minimize(cfg, minimize.Options{Workers: workers})
+	switch {
+	case errors.Is(err, minimize.ErrNoAnomaly):
+		fmt.Println("     corpus: no verdict anomaly; admitting unminimized")
+	case err != nil:
+		fmt.Fprintf(os.Stderr, "     corpus: minimize: %v\n", err)
+		return
+	default:
+		fmt.Printf("     corpus: minimized %d→%d events (%d evaluations, anomaly %s)\n",
+			mres.InitialEvents, mres.FinalEvents, mres.Evaluations, mres.Anomaly)
+		cfg = mres.Config
+	}
+	cfg.Name = fmt.Sprintf("%s-finding-%d", targetName, rec.Rank)
+	entry, added, err := corpus.Add(dir, cfg, corpus.Meta{
+		Name: cfg.Name, Target: targetName, Score: fd.Score,
+	}, corpus.RunOptions{Workers: workers})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "     corpus: %v\n", err)
+		return
+	}
+	rec.CorpusID = entry.ID
+	if added {
+		fmt.Printf("     corpus: admitted %s\n", entry.ID)
+	} else {
+		fmt.Printf("     corpus: duplicate of %s (skipped)\n", entry.ID)
 	}
 }

@@ -1,0 +1,328 @@
+package corpus
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"github.com/lumina-sim/lumina/internal/config"
+	"github.com/lumina-sim/lumina/internal/engine"
+	"github.com/lumina-sim/lumina/internal/orchestrator"
+	"github.com/lumina-sim/lumina/internal/sim"
+	"github.com/lumina-sim/lumina/internal/telemetry"
+)
+
+// Status classifies one (entry, profile) replay cell.
+type Status int
+
+const (
+	// Pass: verdicts and summary digest match the recorded goldens.
+	Pass Status = iota
+	// VerdictDrift: at least one analyzer verdict flipped — the
+	// behaviour the entry guards regressed (or was fixed; either way the
+	// golden must be consciously re-recorded).
+	VerdictDrift
+	// DigestDrift: verdicts match but the summary.json digest does not —
+	// quantitative behaviour (latencies, chain structure, counts)
+	// changed, or the entry's files were tampered with.
+	DigestDrift
+	// Error: the entry could not be replayed at all (unreadable files,
+	// failing run, no golden for the profile).
+	Error
+)
+
+func (s Status) String() string {
+	switch s {
+	case Pass:
+		return "pass"
+	case VerdictDrift:
+		return "verdict-drift"
+	case DigestDrift:
+		return "digest-drift"
+	case Error:
+		return "error"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Cell is one (entry, profile) conformance result.
+type Cell struct {
+	EntryID string `json:"entry"`
+	Profile string `json:"profile"`
+	Status  Status `json:"-"`
+	// StatusName is Status rendered for JSON consumers.
+	StatusName string `json:"status"`
+	Detail     string `json:"detail,omitempty"`
+}
+
+// Row is one entry's replay across every profile.
+type Row struct {
+	EntryID string `json:"entry"`
+	Name    string `json:"name"`
+	Cells   []Cell `json:"cells"` // one per Matrix.Profiles, same order
+}
+
+// Matrix is the (entry × profile) conformance matrix Replay produces.
+// Rows are sorted by entry ID and cells follow the requested profile
+// order, so the rendered matrix is byte-identical at any worker count.
+type Matrix struct {
+	Profiles []string `json:"profiles"`
+	Rows     []Row    `json:"rows"`
+}
+
+// OK reports whether every cell passed.
+func (m *Matrix) OK() bool { return m.Drift() == 0 }
+
+// Drift counts non-pass cells.
+func (m *Matrix) Drift() int {
+	n := 0
+	for _, r := range m.Rows {
+		for _, c := range r.Cells {
+			if c.Status != Pass {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Render writes the matrix as a fixed-width table, one row per entry,
+// one column per profile, followed by a drift summary and the detail of
+// every non-pass cell.
+func (m *Matrix) Render(w io.Writer) error {
+	nameW, colW := len("entry"), 4
+	for _, r := range m.Rows {
+		if n := len(r.EntryID) + 2 + len(r.Name); n > nameW {
+			nameW = n
+		}
+		for _, c := range r.Cells {
+			if len(c.Status.String()) > colW {
+				colW = len(c.Status.String())
+			}
+		}
+	}
+	for _, p := range m.Profiles {
+		if len(p) > colW {
+			colW = len(p)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-*s", nameW, "entry")
+	for _, p := range m.Profiles {
+		fmt.Fprintf(&b, "  %-*s", colW, p)
+	}
+	b.WriteByte('\n')
+	for _, r := range m.Rows {
+		fmt.Fprintf(&b, "%-*s", nameW, r.EntryID+"  "+r.Name)
+		for _, c := range r.Cells {
+			fmt.Fprintf(&b, "  %-*s", colW, c.Status.String())
+		}
+		b.WriteByte('\n')
+	}
+	total := len(m.Rows) * len(m.Profiles)
+	fmt.Fprintf(&b, "%d cell(s): %d pass, %d drift\n", total, total-m.Drift(), m.Drift())
+	for _, r := range m.Rows {
+		for _, c := range r.Cells {
+			if c.Status != Pass {
+				fmt.Fprintf(&b, "  %s [%s] %s: %s\n", c.EntryID, c.Profile, c.Status, c.Detail)
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// ReplayOptions tune a corpus replay.
+type ReplayOptions struct {
+	// Profiles are the matrix columns (default: every built-in model,
+	// sorted).
+	Profiles []string
+	// Workers is the engine pool size (0 = one per CPU, 1 = serial).
+	// The matrix is byte-identical for every value.
+	Workers int
+	// Hub, when non-nil, receives one corpus.replay probe per cell in
+	// row-major order.
+	Hub *telemetry.Hub
+}
+
+// Replay re-runs every corpus entry under every requested profile and
+// reports the conformance matrix. Per-entry problems (tampered or
+// unreadable files, failing runs, missing goldens) become error or
+// drift cells, never panics, so one rotten entry cannot hide the rest
+// of the matrix.
+func Replay(ctx context.Context, dir string, opts ReplayOptions) (*Matrix, error) {
+	if len(opts.Profiles) == 0 {
+		opts.Profiles = AllProfiles()
+	}
+	ids, err := entryIDs(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("corpus: no entries under %s", dir)
+	}
+	m := &Matrix{Profiles: opts.Profiles}
+
+	// Load and integrity-check every entry first. A scenario whose
+	// recomputed content address no longer matches its directory name
+	// was modified on disk: report digest drift without running it.
+	type rowState struct {
+		entry *Entry
+		skip  Status // Pass = replay normally
+		why   string
+	}
+	states := make([]rowState, len(ids))
+	for i, id := range ids {
+		e, err := loadEntry(entryDir(dir, id))
+		if err != nil {
+			states[i] = rowState{skip: Error, why: err.Error()}
+			continue
+		}
+		got, err := ID(e.Config)
+		if err != nil {
+			states[i] = rowState{entry: e, skip: Error, why: err.Error()}
+			continue
+		}
+		if got != id {
+			states[i] = rowState{entry: e, skip: DigestDrift,
+				why: fmt.Sprintf("scenario.yaml content hash %s does not match entry id %s (file modified?)", got, id)}
+			continue
+		}
+		states[i] = rowState{entry: e}
+	}
+
+	// Fan every runnable (entry, profile) cell out over the engine in
+	// row-major submission order.
+	type cellRef struct{ row, col int }
+	var jobs []engine.Job
+	var refs []cellRef
+	for i, st := range states {
+		if st.skip != Pass {
+			continue
+		}
+		e := st.entry
+		for j, p := range opts.Profiles {
+			deadline := sim.Duration(e.Expected.DeadlineNs)
+			if deadline <= 0 {
+				deadline = orchestrator.DefaultOptions().Deadline
+			}
+			jobs = append(jobs, engine.Job{
+				Label: fmt.Sprintf("%s@%s", e.ID, p),
+				Cfg:   withProfile(e.Config, p),
+				Opts:  orchestrator.Options{Deadline: deadline, Lineage: true},
+			})
+			refs = append(refs, cellRef{i, j})
+		}
+	}
+	results := engine.Run(ctx, jobs, engine.Options{Workers: opts.Workers})
+
+	// Assemble rows in ID order, consuming results by submission index.
+	cells := make(map[cellRef]Cell)
+	for k := range results {
+		ref := refs[k]
+		cells[ref] = judge(states[ref.row].entry, opts.Profiles[ref.col], &results[k])
+	}
+	for i, id := range ids {
+		st := states[i]
+		row := Row{EntryID: id}
+		if st.entry != nil {
+			row.Name = st.entry.Expected.Name
+		}
+		for j, p := range opts.Profiles {
+			var c Cell
+			if st.skip != Pass {
+				c = Cell{EntryID: id, Profile: p, Status: st.skip, Detail: st.why}
+			} else {
+				c = cells[cellRef{i, j}]
+			}
+			c.StatusName = c.Status.String()
+			opts.Hub.EmitArgs(telemetry.KindCorpusCell, "corpus", id,
+				telemetry.S("profile", p),
+				telemetry.S("status", c.StatusName),
+				telemetry.S("detail", c.Detail))
+			row.Cells = append(row.Cells, c)
+		}
+		m.Rows = append(m.Rows, row)
+	}
+	return m, nil
+}
+
+func entryDir(dir, id string) string { return filepath.Join(dir, id) }
+
+// judge compares one replayed cell against its golden expectation.
+func judge(e *Entry, profile string, res *engine.JobResult) Cell {
+	c := Cell{EntryID: e.ID, Profile: profile}
+	golden, ok := e.Expected.Profiles[profile]
+	if !ok {
+		c.Status, c.Detail = Error, fmt.Sprintf("no golden recorded for profile %s", profile)
+		return c
+	}
+	if res.Err != nil {
+		c.Status, c.Detail = Error, res.Err.Error()
+		return c
+	}
+	got, err := expectationOf(res.Report)
+	if err != nil {
+		c.Status, c.Detail = Error, err.Error()
+		return c
+	}
+	if diff := verdictDiff(golden, got); diff != "" {
+		c.Status, c.Detail = VerdictDrift, diff
+		return c
+	}
+	if got.SummarySHA256 != golden.SummarySHA256 {
+		c.Status = DigestDrift
+		c.Detail = fmt.Sprintf("summary digest %s, golden %s",
+			got.SummarySHA256[:12], golden.SummarySHA256[:12])
+		return c
+	}
+	c.Status = Pass
+	return c
+}
+
+// verdictDiff describes the first verdict disagreement, or "" if the
+// verdict sets (and timeout flags) match.
+func verdictDiff(golden, got ProfileExpectation) string {
+	if golden.TimedOut != got.TimedOut {
+		return fmt.Sprintf("timed_out %t, golden %t", got.TimedOut, golden.TimedOut)
+	}
+	names := make([]string, 0, len(golden.Verdicts)+len(got.Verdicts))
+	for n := range golden.Verdicts {
+		names = append(names, n)
+	}
+	for n := range got.Verdicts {
+		if _, ok := golden.Verdicts[n]; !ok {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		g, gok := golden.Verdicts[n]
+		r, rok := got.Verdicts[n]
+		switch {
+		case !gok:
+			return fmt.Sprintf("verdict %s appeared (pass=%t), absent from golden", n, r)
+		case !rok:
+			return fmt.Sprintf("verdict %s missing, golden pass=%t", n, g)
+		case g != r:
+			return fmt.Sprintf("verdict %s pass=%t, golden pass=%t", n, r, g)
+		}
+	}
+	return ""
+}
+
+// runProfiles executes cfg once per requested profile (used by Add to
+// record goldens), returning reports in profile order or the first
+// failure.
+func runProfiles(cfg config.Test, opts RunOptions) ([]*orchestrator.Report, error) {
+	cfgs := make([]config.Test, len(opts.Profiles))
+	for i, p := range opts.Profiles {
+		cfgs[i] = withProfile(cfg, p)
+	}
+	return engine.RunConfigs(context.Background(), cfgs,
+		orchestrator.Options{Deadline: opts.Deadline, Lineage: true},
+		engine.Options{Workers: opts.Workers})
+}

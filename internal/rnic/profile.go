@@ -16,6 +16,8 @@ package rnic
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
 	"github.com/lumina-sim/lumina/internal/sim"
 )
@@ -300,11 +302,16 @@ func Profiles() map[string]Profile {
 	return m
 }
 
-// ProfileByName looks up a built-in profile.
+// ProfileByName looks up a built-in profile. The error for an unknown
+// name lists every known model so a typo in a config or -nic flag is
+// self-diagnosing.
 func ProfileByName(name string) (Profile, error) {
 	p, ok := Profiles()[name]
 	if !ok {
-		return Profile{}, fmt.Errorf("rnic: unknown NIC model %q", name)
+		known := ModelNames()
+		sort.Strings(known)
+		return Profile{}, fmt.Errorf("rnic: unknown NIC model %q (known models: %s)",
+			name, strings.Join(known, ", "))
 	}
 	return p, nil
 }

@@ -2,6 +2,7 @@ package rnic
 
 import (
 	"net/netip"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -743,6 +744,8 @@ func TestParseVerbAndModelTables(t *testing.T) {
 	}
 	if _, err := ProfileByName("cx9"); err == nil {
 		t.Error("unknown model accepted")
+	} else if !strings.Contains(err.Error(), "cx4, cx5, cx6, e810, spec") {
+		t.Errorf("unknown-model error %q does not list known models sorted", err)
 	}
 }
 

@@ -46,6 +46,8 @@ const (
 	KindTracePkt     Kind = "trace.pkt"        // packet synthesized from a captured trace
 	KindVerdict      Kind = "analyzer.verdict" // post-run analyzer pass/fail instants
 	KindEngineJob    Kind = "engine.job"       // run-engine job completion (index, attempts, status)
+	KindMinimizeStep Kind = "minimize.step"    // reproducer-minimizer candidate tried (round, detail, kept)
+	KindCorpusCell   Kind = "corpus.replay"    // corpus replay conformance cell (entry, profile, status)
 )
 
 // Field is one key/value annotation on an event. Val carries numeric

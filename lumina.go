@@ -29,9 +29,11 @@ import (
 
 	"github.com/lumina-sim/lumina/internal/analyzer"
 	"github.com/lumina-sim/lumina/internal/config"
+	"github.com/lumina-sim/lumina/internal/corpus"
 	"github.com/lumina-sim/lumina/internal/engine"
 	"github.com/lumina-sim/lumina/internal/fuzz"
 	"github.com/lumina-sim/lumina/internal/lineage"
+	"github.com/lumina-sim/lumina/internal/minimize"
 	"github.com/lumina-sim/lumina/internal/orchestrator"
 	"github.com/lumina-sim/lumina/internal/rnic"
 	"github.com/lumina-sim/lumina/internal/sim"
@@ -190,6 +192,52 @@ func HostViewOf(name string, h Host, counters map[string]uint64) HostView {
 		v.IPs = append(v.IPs, ip.String())
 	}
 	return v
+}
+
+// Regression corpus: minimized reproducers of anomalous runs, stored
+// content-addressed with golden verdicts/digests and replayed as a
+// cross-profile conformance matrix (see the lumina-corpus CLI).
+type (
+	MinimizeOptions = minimize.Options
+	MinimizeResult  = minimize.Result
+	MinimizeStep    = minimize.Step
+	MinimizeAnomaly = minimize.Anomaly
+	CorpusEntry     = corpus.Entry
+	CorpusMeta      = corpus.Meta
+	CorpusMatrix    = corpus.Matrix
+	ReplayOptions   = corpus.ReplayOptions
+)
+
+// MinimizeFinding delta-debugs a fuzzer finding's configuration down to
+// a minimal reproducer whose analyzer-verdict signature matches the
+// original's. Candidate batches run on the deterministic engine, so the
+// minimized scenario and step log are byte-identical at any
+// MinimizeOptions.Workers.
+func MinimizeFinding(f FuzzFinding, opts MinimizeOptions) (*MinimizeResult, error) {
+	return minimize.Minimize(f.Report.Config, opts)
+}
+
+// MinimizeConfig delta-debugs an arbitrary anomalous configuration (the
+// non-fuzzer entry point; see MinimizeFinding).
+func MinimizeConfig(cfg Config, opts MinimizeOptions) (*MinimizeResult, error) {
+	return minimize.Minimize(cfg, opts)
+}
+
+// AddToCorpus admits a scenario into the content-addressed regression
+// corpus at dir, recording golden verdicts and summary digests for
+// every built-in NIC profile. The second result reports whether the
+// entry is new (false = duplicate content hash, nothing written).
+func AddToCorpus(dir string, cfg Config, meta CorpusMeta) (*CorpusEntry, bool, error) {
+	return corpus.Add(dir, cfg, meta, corpus.RunOptions{})
+}
+
+// ReplayCorpus re-runs every corpus entry under every profile (nil =
+// all built-in models) and returns the conformance matrix: pass /
+// verdict-drift / digest-drift / error per (entry, profile), identical
+// for every worker count.
+func ReplayCorpus(dir string, profiles []string, workers int) (*CorpusMatrix, error) {
+	return corpus.Replay(context.Background(), dir,
+		corpus.ReplayOptions{Profiles: profiles, Workers: workers})
 }
 
 // NewFuzzer prepares an Algorithm-1 genetic fuzzer over a target.
