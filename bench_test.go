@@ -38,6 +38,7 @@ func must[T any](v T, err error) func(testing.TB) T {
 // message completion time under the four switch modes. Metrics:
 // <variant>_<size>_mct_us.
 func BenchmarkFigure7_InjectorOverhead(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		pts := must(experiments.Figure7(100))(b)
 		if i == 0 {
@@ -52,6 +53,7 @@ func BenchmarkFigure7_InjectorOverhead(b *testing.B) {
 // BenchmarkFigure8_NACKGeneration regenerates Figure 8: NACK generation
 // latency versus drop position, per NIC and verb.
 func BenchmarkFigure8_NACKGeneration(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		pts := must(experiments.Figures8And9(rnic.HardwareModelNames(), []int{1, 40, 99}))(b)
 		if i == 0 {
@@ -66,6 +68,7 @@ func BenchmarkFigure8_NACKGeneration(b *testing.B) {
 // BenchmarkFigure9_NACKReaction regenerates Figure 9: NACK reaction
 // latency versus drop position.
 func BenchmarkFigure9_NACKReaction(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		pts := must(experiments.Figures8And9(rnic.HardwareModelNames(), []int{1, 40, 99}))(b)
 		if i == 0 {
@@ -80,6 +83,7 @@ func BenchmarkFigure9_NACKReaction(b *testing.B) {
 // BenchmarkFigure10_ETS regenerates Figure 10: per-QP goodput under the
 // three ETS settings, on the buggy CX6 Dx and the spec baseline.
 func BenchmarkFigure10_ETS(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		for _, model := range []string{rnic.ModelCX6, rnic.ModelSpec} {
 			pts := must(experiments.Figure10(model))(b)
@@ -96,6 +100,7 @@ func BenchmarkFigure10_ETS(b *testing.B) {
 // BenchmarkFigure11_NoisyNeighbor regenerates Figure 11: innocent-flow
 // MCTs versus the number of drop-injected Read connections on CX4 Lx.
 func BenchmarkFigure11_NoisyNeighbor(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		pts := must(experiments.Figure11(rnic.ModelCX4, []int{0, 8, 12, 16}))(b)
 		if i == 0 {
@@ -111,6 +116,7 @@ func BenchmarkFigure11_NoisyNeighbor(b *testing.B) {
 
 // BenchmarkTable2_BugMatrix regenerates Table 2's detection matrix.
 func BenchmarkTable2_BugMatrix(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		tab := must(experiments.Table2())(b)
 		if i == 0 {
@@ -129,6 +135,7 @@ func BenchmarkTable2_BugMatrix(b *testing.B) {
 // sweep: responder discards and victim MCTs versus QP count, with and
 // without the MigReq rewrite.
 func BenchmarkInterop_E810_CX5(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		pts := must(experiments.Interop([]int{4, 16}, false))(b)
 		fixed := must(experiments.Interop([]int{16}, true))(b)
@@ -147,6 +154,7 @@ func BenchmarkInterop_E810_CX5(b *testing.B) {
 // BenchmarkHidden_CNPInterval regenerates the §6.3 CNP-interval probe
 // (E810's hidden ~50µs floor).
 func BenchmarkHidden_CNPInterval(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		pts := must(experiments.CNPIntervals(nil))(b)
 		if i == 0 {
@@ -160,6 +168,7 @@ func BenchmarkHidden_CNPInterval(b *testing.B) {
 // BenchmarkHidden_CNPModes regenerates the §6.3 rate-limiter scope
 // classification (1 = matches the paper's reported mode).
 func BenchmarkHidden_CNPModes(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		pts := must(experiments.CNPScopes(nil))(b)
 		if i == 0 {
@@ -177,6 +186,7 @@ func BenchmarkHidden_CNPModes(b *testing.B) {
 // BenchmarkHidden_AdaptiveRetrans regenerates the §6.3 adaptive
 // retransmission timeout schedule on CX6 Dx.
 func BenchmarkHidden_AdaptiveRetrans(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		pts := must(experiments.AdaptiveRetrans(rnic.ModelCX6, true, 7))(b)
 		if i == 0 {
@@ -190,6 +200,7 @@ func BenchmarkHidden_AdaptiveRetrans(b *testing.B) {
 // BenchmarkDumperLoadBalancing regenerates the §3.4 capture-success
 // comparison between the two-host design and the load-balanced pool.
 func BenchmarkDumperLoadBalancing(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		pts := must(experiments.DumperLB(6))(b)
 		if i == 0 {
@@ -212,6 +223,7 @@ func BenchmarkSwitchPipeline(b *testing.B) {
 	cfg.Traffic.NumConnections = 4
 	cfg.Traffic.NumMsgsPerQP = 25
 	cfg.Traffic.MessageSize = 10240
+	b.ReportAllocs()
 	b.ResetTimer()
 	totalPkts := 0
 	for i := 0; i < b.N; i++ {
@@ -241,9 +253,33 @@ func benchPacket() *packet.Packet {
 
 func BenchmarkPacketSerialize(b *testing.B) {
 	p := benchPacket()
+	buf := make([]byte, 0, p.WireLen())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = p.AppendWire(buf[:0])
+	}
+}
+
+// BenchmarkPacketSerializeAlloc is the allocating variant (fresh wire
+// buffer per packet) — what Serialize callers that retain the slice pay.
+func BenchmarkPacketSerializeAlloc(b *testing.B) {
+	p := benchPacket()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_ = p.Serialize()
+	}
+}
+
+// BenchmarkPacketDecodeInto is the zero-copy receive path: headers
+// parsed into a reused struct, payload aliased from the wire bytes.
+func BenchmarkPacketDecodeInto(b *testing.B) {
+	wire := benchPacket().Serialize()
+	var pkt packet.Packet
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := packet.DecodeInto(wire, &pkt); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -261,6 +297,7 @@ func BenchmarkPacketDecode(b *testing.B) {
 func BenchmarkICRC(b *testing.B) {
 	wire := benchPacket().Serialize()
 	b.SetBytes(int64(len(wire)))
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_ = packet.ComputeICRC(wire[:len(wire)-4])
 	}
@@ -348,6 +385,7 @@ func BenchmarkSimulatorEvents(b *testing.B) {
 		}
 	}
 	s.After(10, pump)
+	b.ReportAllocs()
 	b.ResetTimer()
 	s.Run()
 	b.ReportMetric(float64(s.Executed())/b.Elapsed().Seconds(), "events/s")
@@ -369,6 +407,7 @@ func BenchmarkAblations(b *testing.B) {
 		}
 		return string(out)
 	}
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		pts := must(experiments.AblationAll())(b)
 		if i == 0 {

@@ -12,6 +12,9 @@
 //	lumina-bench -workers 4       # engine worker-pool size; the measured
 //	                              # rows are identical for every value
 //	lumina-bench -run fig8 -json  # also write BENCH_fig8.json
+//	lumina-bench -gate            # after experiments, run the perf gate:
+//	                              # exit non-zero naming any workload over
+//	                              # its checked-in allocation budget
 package main
 
 import (
@@ -26,6 +29,7 @@ import (
 
 	"github.com/lumina-sim/lumina/internal/config"
 	"github.com/lumina-sim/lumina/internal/experiments"
+	"github.com/lumina-sim/lumina/internal/perfgate"
 	"github.com/lumina-sim/lumina/internal/rnic"
 )
 
@@ -37,6 +41,7 @@ func main() {
 	format := flag.String("format", "table", "output format: table | csv")
 	jsonOut := flag.Bool("json", false, "also write BENCH_<name>.json per experiment (measured rows + wall time + seed + workers)")
 	jsonDir := flag.String("json-dir", ".", "directory for -json output files")
+	gate := flag.Bool("gate", false, "after experiments, measure the perfgate workloads and exit non-zero on any busted allocation budget")
 	flag.Parse()
 
 	experiments.SetWorkers(*workers)
@@ -63,7 +68,10 @@ func main() {
 		ran++
 		start := time.Now()
 		fmt.Printf("=== %s ===\n", name)
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
 		tables, err := fn()
+		runtime.ReadMemStats(&after)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "lumina-bench: experiment %q failed: %v\n", name, err)
 			os.Exit(1)
@@ -77,7 +85,11 @@ func main() {
 		wall := time.Since(start)
 		fmt.Printf("(%s took %v)\n\n", name, wall.Round(time.Millisecond))
 		if *jsonOut && len(tables) > 0 {
-			writeBenchJSON(*jsonDir, name, tables, wall, effWorkers)
+			alloc := allocProfile{
+				AllocsPerOp: after.Mallocs - before.Mallocs,
+				BytesPerOp:  after.TotalAlloc - before.TotalAlloc,
+			}
+			writeBenchJSON(*jsonDir, name, tables, wall, effWorkers, alloc)
 		}
 	}
 
@@ -195,10 +207,36 @@ func main() {
 		return []*experiments.Table{experiments.AblationTable(pts)}, nil
 	})
 
-	if ran == 0 {
+	if ran == 0 && !*gate {
 		fmt.Fprintf(os.Stderr, "no experiment matches %q\n", *runSel)
 		os.Exit(2)
 	}
+
+	if *gate {
+		runGate()
+	}
+}
+
+// runGate measures every perfgate workload against the checked-in
+// budgets (internal/perfgate/perf_budgets.json) and exits non-zero
+// naming each offender. Allocation counts are deterministic, so a
+// failure here reproduces identically on any machine.
+func runGate() {
+	fmt.Println("=== perf-gate ===")
+	results, violations, err := perfgate.Gate()
+	if err != nil {
+		fatal(err)
+	}
+	for _, r := range results {
+		fmt.Printf("%-22s %10.1f allocs/op %14.1f bytes/op\n", r.Name, r.AllocsPerOp, r.BytesPerOp)
+	}
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintf(os.Stderr, "lumina-bench: perf budget violated: %s\n", v)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("perf-gate: %d budgets OK\n", len(results))
 }
 
 // benchTable is the serialized form of one result table.
@@ -208,26 +246,38 @@ type benchTable struct {
 	Rows    [][]string `json:"rows"`
 }
 
-// benchResult is the BENCH_<name>.json schema: the measured rows plus
-// the provenance a trajectory tracker needs (wall time, seed, worker
-// count). Only wall_ms and workers may differ between runs; the tables
-// are byte-identical for every worker count.
-type benchResult struct {
-	Name    string       `json:"name"`
-	Seed    int64        `json:"seed"`
-	WallMs  float64      `json:"wall_ms"`
-	Workers int          `json:"workers"`
-	Tables  []benchTable `json:"tables"`
+// allocProfile is the heap cost of one experiment run: total heap
+// allocations and allocated bytes between section start and finish (the
+// "op" is the whole experiment). Unlike wall_ms these are deterministic
+// per worker count, so diffs between trajectory snapshots are signal.
+type allocProfile struct {
+	AllocsPerOp uint64 `json:"allocs_per_op"`
+	BytesPerOp  uint64 `json:"bytes_per_op"`
 }
 
-func writeBenchJSON(dir, name string, tables []*experiments.Table, wall time.Duration, workers int) {
+// benchResult is the BENCH_<name>.json schema: the measured rows plus
+// the provenance a trajectory tracker needs (wall time, seed, worker
+// count, heap cost). Only wall_ms, workers, and the allocation profile
+// may differ between runs; the tables are byte-identical for every
+// worker count.
+type benchResult struct {
+	Name    string  `json:"name"`
+	Seed    int64   `json:"seed"`
+	WallMs  float64 `json:"wall_ms"`
+	Workers int     `json:"workers"`
+	allocProfile
+	Tables []benchTable `json:"tables"`
+}
+
+func writeBenchJSON(dir, name string, tables []*experiments.Table, wall time.Duration, workers int, alloc allocProfile) {
 	out := benchResult{
 		Name: name,
 		// Experiments derive every run from config.Default; its seed is
 		// the one knob that would change the measured rows.
-		Seed:    config.Default().Seed,
-		WallMs:  float64(wall.Microseconds()) / 1000,
-		Workers: workers,
+		Seed:         config.Default().Seed,
+		WallMs:       float64(wall.Microseconds()) / 1000,
+		Workers:      workers,
+		allocProfile: alloc,
 	}
 	for _, t := range tables {
 		out.Tables = append(out.Tables, benchTable{Title: t.Title, Columns: t.Columns, Rows: t.Rows})

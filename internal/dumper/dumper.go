@@ -65,6 +65,13 @@ type Node struct {
 	track      string // telemetry track, "dumper-<idx>"
 	queued     int    // packets in rings across all cores
 
+	// arena backs the trimmed record copies: records are append-only and
+	// live until Terminate, so carving capped slices out of block
+	// allocations replaces one small allocation per captured packet. Each
+	// record's slice is capped (three-index) so the in-place UDP port
+	// restore cannot touch a neighbouring record.
+	arena []byte
+
 	// Counters for integrity analysis.
 	RxPackets  uint64
 	RxDiscards uint64 // ring overflow (rx_discards_phy analogue)
@@ -121,7 +128,8 @@ func (n *Node) receive(wire []byte) {
 	if trim > len(wire) {
 		trim = len(wire)
 	}
-	data := append([]byte(nil), wire[:trim]...)
+	data := n.arenaAlloc(trim)
+	copy(data, wire[:trim])
 
 	now := n.Sim.Now()
 	start := now
@@ -164,6 +172,34 @@ func (n *Node) receive(wire []byte) {
 		})
 		n.Captured++
 	})
+}
+
+// Arena blocks grow geometrically from arenaBlockMin to arenaBlockMax so
+// short captures stay cheap while sustained captures amortize to one
+// allocation per ~512 records.
+const (
+	arenaBlockMin = 2 * 1024
+	arenaBlockMax = 64 * 1024
+)
+
+// arenaAlloc carves an n-byte capped slice out of the arena.
+func (n *Node) arenaAlloc(sz int) []byte {
+	if cap(n.arena)-len(n.arena) < sz {
+		block := 2 * cap(n.arena)
+		if block < arenaBlockMin {
+			block = arenaBlockMin
+		}
+		if block > arenaBlockMax {
+			block = arenaBlockMax
+		}
+		if block < sz {
+			block = sz
+		}
+		n.arena = make([]byte, 0, block)
+	}
+	off := len(n.arena)
+	n.arena = n.arena[:off+sz]
+	return n.arena[off : off+sz : off+sz]
 }
 
 // rssCore hashes the 5-tuple to pick a core — flow-affine, exactly why

@@ -114,6 +114,12 @@ type Switch struct {
 	mirrorSeq uint64
 	rng       *sim.RNG
 
+	// mirrorPool recycles mirror-copy buffers: a mirror frame is dead as
+	// soon as the dumper's receive handler returns (the dumper trims into
+	// its own storage), so the pool bounds steady-state mirror allocation
+	// to the in-flight window.
+	mirrorPool [][]byte
+
 	perPort []PortCounters
 	total   PortCounters
 
@@ -391,10 +397,14 @@ func (sw *Switch) lookupRule(pkt *packet.Packet, iter uint32) *Rule {
 // rewriteMigReq re-serializes the packet with MigReq forced to 1 — the
 // action Lumina added to confirm the §6.2.3 interop root cause. Unlike
 // ECN marking, MigReq is iCRC-covered, so the packet must be rebuilt.
+// The flip is applied in place on the decoded packet and restored after
+// serializing, avoiding a full clone.
 func (sw *Switch) rewriteMigReq(pkt *packet.Packet) []byte {
-	q := pkt.Clone()
-	q.BTH.MigReq = true
-	return q.Serialize()
+	saved := pkt.BTH.MigReq
+	pkt.BTH.MigReq = true
+	out := pkt.AppendWire(nil)
+	pkt.BTH.MigReq = saved
+	return out
 }
 
 // dataPlaneLatency models the pipeline stages a packet traverses:
@@ -448,9 +458,28 @@ func (sw *Switch) forwardNow(wire []byte, dst packet.MAC, isRoCE bool) {
 	sw.hostPorts[idx].Send(wire)
 }
 
+// getMirrorBuf returns an n-byte buffer from the pool (or a fresh one).
+func (sw *Switch) getMirrorBuf(n int) []byte {
+	for k := len(sw.mirrorPool) - 1; k >= 0; k-- {
+		buf := sw.mirrorPool[k]
+		if cap(buf) >= n {
+			sw.mirrorPool[k] = sw.mirrorPool[len(sw.mirrorPool)-1]
+			sw.mirrorPool[len(sw.mirrorPool)-1] = nil
+			sw.mirrorPool = sw.mirrorPool[:len(sw.mirrorPool)-1]
+			return buf[:n]
+		}
+	}
+	return make([]byte, n)
+}
+
+func (sw *Switch) putMirrorBuf(buf []byte) {
+	sw.mirrorPool = append(sw.mirrorPool, buf)
+}
+
 // mirror emits the metadata-stamped duplicate toward the dumper pool.
 func (sw *Switch) mirror(wire []byte, ev packet.EventType, ingress int) {
-	dup := append([]byte(nil), wire...)
+	dup := sw.getMirrorBuf(len(wire))
+	copy(dup, wire)
 	sw.mirrorSeq++
 	packet.EmbedMirrorMeta(dup, packet.MirrorMeta{
 		Seq:       sw.mirrorSeq,
@@ -479,7 +508,7 @@ func (sw *Switch) mirror(wire []byte, ev packet.EventType, ingress int) {
 	}
 	sw.total.Mirrored++
 	sw.Sim.After(sim.Duration(sw.Cfg.PipelineLatencyNs), func() {
-		port.Send(dup)
+		port.SendRecycle(dup, sw.putMirrorBuf)
 	})
 }
 

@@ -7,10 +7,30 @@ import (
 
 // Serialize encodes the packet to wire bytes, computing IPv4 TotalLen and
 // header checksum, UDP Length, and the iCRC. The returned buffer is
-// freshly allocated.
+// freshly allocated. It is a thin compatibility wrapper around AppendWire;
+// hot paths that reuse buffers should call AppendWire directly.
 func (p *Packet) Serialize() []byte {
 	buf := make([]byte, p.WireLen())
 	p.serializeInto(buf)
+	return buf
+}
+
+// AppendWire appends the packet's wire encoding to buf and returns the
+// extended slice, computing IPv4 TotalLen and header checksum, UDP
+// Length, and the iCRC exactly as Serialize does. When cap(buf) already
+// covers the encoded size the call performs zero allocations, which is
+// what lets per-connection scratch buffers make the encode path
+// allocation-free.
+func (p *Packet) AppendWire(buf []byte) []byte {
+	n := p.WireLen()
+	off := len(buf)
+	if cap(buf)-off < n {
+		grown := make([]byte, off, off+n)
+		copy(grown, buf)
+		buf = grown
+	}
+	buf = buf[:off+n]
+	p.serializeInto(buf[off:])
 	return buf
 }
 
@@ -110,12 +130,15 @@ func (p *Packet) serializeInto(buf []byte) {
 		off += AtomicAckSize
 	}
 	if op == OpCNP {
-		// 16 zero bytes of CNP padding.
+		// 16 zero bytes of CNP padding. Written explicitly: the buffer
+		// may be a reused scratch holding a previous packet's bytes.
+		clear(buf[off : off+cnpPadSize])
 		off += cnpPadSize
 	}
 	copy(buf[off:], p.Payload)
 	off += len(p.Payload)
-	off += int(p.BTH.PadCount) // pad bytes are zero
+	clear(buf[off : off+int(p.BTH.PadCount)]) // pad bytes are zero on the wire
+	off += int(p.BTH.PadCount)
 
 	icrc := ComputeICRC(buf[:off])
 	p.ICRC = icrc
@@ -127,12 +150,20 @@ func (p *Packet) serializeInto(buf []byte) {
 	buf[off+3] = byte(icrc >> 24)
 }
 
-// Decode parses wire bytes into pkt, which is overwritten. The payload
-// slice aliases data. Decode returns an error for structurally invalid
-// packets; iCRC validity is reported separately by VerifyICRC so that
-// corrupted-but-parseable packets (Lumina's corruption events) can still
-// be inspected.
+// Decode parses wire bytes into pkt, which is overwritten. It is a thin
+// compatibility wrapper around DecodeInto.
 func Decode(data []byte, pkt *Packet) error {
+	return DecodeInto(data, pkt)
+}
+
+// DecodeInto parses wire bytes into pkt in place, which is overwritten —
+// no per-call allocation. The payload slice aliases data rather than
+// copying it; callers that retain pkt across reuse of the source buffer
+// must copy the payload themselves. DecodeInto returns an error for
+// structurally invalid packets; iCRC validity is reported separately by
+// VerifyICRC so that corrupted-but-parseable packets (Lumina's corruption
+// events) can still be inspected.
+func DecodeInto(data []byte, pkt *Packet) error {
 	*pkt = Packet{}
 	if len(data) < EthernetSize {
 		return errTooShort

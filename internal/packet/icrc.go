@@ -44,7 +44,13 @@ func ComputeICRC(wire []byte) uint32 {
 	bth := head[8+IPv4Size+UDPSize:]
 	bth[4] = 0xFF // resv8a (FECN/BECN)
 
-	crc := crc32.Update(0, crc32.IEEETable, head[:])
-	crc = crc32.Update(crc, crc32.IEEETable, wire[EthernetSize+IPv4Size+UDPSize+BTHSize:])
-	return crc
+	// The masked prefix is hashed with a manual table walk so the stack
+	// array never escapes into the hashing routine; only the long
+	// unmasked tail goes through crc32.Update's optimized path. The two
+	// compose exactly: Update(0, head)+Update(·, tail) ≡ this.
+	crc := ^uint32(0)
+	for _, b := range &head {
+		crc = crc32.IEEETable[byte(crc)^b] ^ (crc >> 8)
+	}
+	return crc32.Update(^crc, crc32.IEEETable, wire[EthernetSize+IPv4Size+UDPSize+BTHSize:])
 }

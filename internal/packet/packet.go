@@ -372,8 +372,16 @@ func (p *Packet) IsRoCE() bool {
 
 // WireLen returns the total serialized length in bytes.
 func (p *Packet) WireLen() int {
+	return WireSize(p.BTH.Opcode, len(p.Payload), int(p.BTH.PadCount))
+}
+
+// WireSize returns the serialized length of a packet with the given
+// opcode, payload length, and pad count — without building a Packet.
+// The transmit schedulers size queue entries with it so the hot path
+// never constructs a packet twice (once for its length, once for its
+// bytes).
+func WireSize(op Opcode, payloadLen, padCount int) int {
 	n := EthernetSize + IPv4Size + UDPSize + BTHSize
-	op := p.BTH.Opcode
 	if op.HasRETH() {
 		n += RETHSize
 	}
@@ -392,8 +400,7 @@ func (p *Packet) WireLen() int {
 	if op == OpCNP {
 		n += cnpPadSize
 	}
-	n += len(p.Payload) + int(p.BTH.PadCount) + ICRCSize
-	return n
+	return n + payloadLen + padCount + ICRCSize
 }
 
 // cnpPadSize: RoCEv2 CNPs carry a 16-byte zeroed payload field.

@@ -1,0 +1,110 @@
+package perfgate
+
+import (
+	"net/netip"
+
+	"github.com/lumina-sim/lumina/internal/config"
+	"github.com/lumina-sim/lumina/internal/orchestrator"
+	"github.com/lumina-sim/lumina/internal/packet"
+	"github.com/lumina-sim/lumina/internal/sim"
+)
+
+// A workload returns (ops per measurement pass, the operation). Setup
+// happens inside the constructor so its allocations land outside the
+// measured window; the op must be deterministic and free of wall-clock
+// or global-RNG reads, like everything else in the simulator.
+type workloadFn func() (ops int, op func())
+
+// workloads maps budget names to their measurable operations. Every
+// entry in perf_budgets.json must have a workload here and vice versa
+// (TestPerfBudgets cross-checks).
+var workloads = map[string]workloadFn{
+	"packet_append_wire": packetAppendWire,
+	"packet_decode_into": packetDecodeInto,
+	"packet_icrc":        packetICRC,
+	"sim_events":         simEvents,
+	"end_to_end_run":     endToEndRun,
+}
+
+// samplePacket is a representative mid-message Write data packet: the
+// single most common packet shape on the simulated wire.
+func samplePacket() *packet.Packet {
+	return &packet.Packet{
+		Eth: packet.Ethernet{
+			Dst: packet.MAC{2, 0, 0, 0, 0, 2}, Src: packet.MAC{2, 0, 0, 0, 0, 1},
+			EtherType: packet.EtherTypeIPv4,
+		},
+		IP: packet.IPv4{
+			TTL: 64, Protocol: packet.ProtoUDP, ECN: packet.ECNECT0,
+			Src: netip.MustParseAddr("10.0.0.1"), Dst: netip.MustParseAddr("10.0.0.2"),
+		},
+		UDP:     packet.UDP{SrcPort: 49152, DstPort: packet.RoCEv2Port},
+		BTH:     packet.BTH{Opcode: packet.OpWriteMiddle, DestQP: 7, PSN: 100},
+		Payload: make([]byte, 1024),
+	}
+}
+
+// packetAppendWire is the transmit-side encode path: serializing a
+// packet (headers + iCRC) into a reused buffer. Budgeted at zero
+// allocations — this is the operation every simulated packet pays.
+func packetAppendWire() (int, func()) {
+	p := samplePacket()
+	buf := make([]byte, 0, p.WireLen())
+	return 20000, func() { buf = p.AppendWire(buf[:0]) }
+}
+
+// packetDecodeInto is the receive-side parse path: decoding wire bytes
+// into a reused packet struct, payload aliased not copied. Zero allocs.
+func packetDecodeInto() (int, func()) {
+	wire := samplePacket().Serialize()
+	var pkt packet.Packet
+	return 20000, func() {
+		if err := packet.DecodeInto(wire, &pkt); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// packetICRC is the invariant-CRC computation every received packet
+// pays before transport processing. Zero allocs.
+func packetICRC() (int, func()) {
+	wire := samplePacket().Serialize()
+	body := wire[:len(wire)-4]
+	return 20000, func() { _ = packet.ComputeICRC(body) }
+}
+
+// simEvents is the event-loop steady state: schedule one callback, fire
+// it. With the indexed heap and the event freelist this recycles one
+// event struct per op — zero allocations once warm.
+func simEvents() (int, func()) {
+	s := sim.New(1)
+	fn := func() {}
+	// Warm the freelist so the measured window sees steady state.
+	for i := 0; i < 64; i++ {
+		s.After(1, fn)
+	}
+	for s.Step() {
+	}
+	return 50000, func() {
+		s.After(1, fn)
+		s.Step()
+	}
+}
+
+// endToEndRun is one complete orchestrated test: setup, traffic,
+// injection, mirroring, capture, trace reconstruction, integrity check.
+// Its budget is the whole-system regression tripwire; the companion
+// ratio check pins it ≥30% below the pre-optimization baseline.
+func endToEndRun() (int, func()) {
+	cfg := config.Default()
+	cfg.Traffic.NumMsgsPerQP = 5
+	return 8, func() {
+		rep, err := orchestrator.Run(cfg, orchestrator.DefaultOptions())
+		if err != nil {
+			panic(err)
+		}
+		if !rep.IntegrityOK {
+			panic("perfgate: end_to_end_run integrity check failed: " + rep.IntegrityDetail)
+		}
+	}
+}

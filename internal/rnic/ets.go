@@ -47,12 +47,37 @@ func (c ETSConfig) Validate() error {
 	return nil
 }
 
-// txPkt is one packet waiting in the NIC's transmit path. Packets are
-// built lazily at transmit time so Go-back-N rewinds regenerate fresh
-// wire bytes and queued-but-flushed packets cost nothing.
+// txKind discriminates the transmit descriptor variants.
+type txKind uint8
+
+const (
+	txData txKind = iota
+	txReadReq
+	txReadResp
+	txAtomicReq
+	txAck
+	txAtomicAck
+)
+
+// txPkt is one packet waiting in the NIC's transmit path — a plain value
+// descriptor rather than a build closure, so enqueueing allocates
+// nothing. Packets are built lazily at transmit time (QP.buildTx) so
+// Go-back-N rewinds regenerate fresh wire bytes and queued-but-flushed
+// packets cost nothing.
 type txPkt struct {
-	size  int
-	build func() []byte
+	kind txKind
+	size int
+	psn  uint32
+	// w covers requester descriptors (data, read request, atomic request).
+	w *wqe
+	// ctx/i cover read responses.
+	ctx readCtx
+	i   int
+	// syndrome/msn/orig cover acknowledgements, whose content is
+	// snapshotted at generation time.
+	syndrome uint8
+	msn      uint32
+	orig     uint64
 }
 
 // etsQueue is the runtime state of one scheduler queue.
@@ -179,7 +204,7 @@ func (s *etsScheduler) kick() {
 		q.capReadyAt = now.Add(sim.TransferTime(size, q.capGbps))
 	}
 
-	s.nic.transmit(pkt.build(), qp)
+	s.nic.transmit(qp.buildTx(pkt), qp)
 	s.wakeAt(s.busyTil)
 }
 

@@ -101,6 +101,12 @@ type NIC struct {
 	nextQPN uint32
 	nextRK  uint32
 
+	// rxFree recycles decoded-packet structs across the RX path: a packet
+	// lives from decode until its dispatch event returns (handlers never
+	// retain the pointer), so steady-state reception allocates no Packet
+	// structs. Per-NIC, hence safe with one simulator per worker.
+	rxFree []*packet.Packet
+
 	// lastCNPAt feeds the inter-CNP-gap histogram (telemetry only).
 	lastCNPAt sim.Time
 	anyCNP    bool
@@ -247,6 +253,24 @@ func (n *NIC) transmit(wire []byte, qp *QP) {
 	n.port.Send(wire)
 }
 
+// getRxPkt pops a recycled packet struct (or allocates the first time).
+func (n *NIC) getRxPkt() *packet.Packet {
+	if k := len(n.rxFree); k > 0 {
+		p := n.rxFree[k-1]
+		n.rxFree[k-1] = nil
+		n.rxFree = n.rxFree[:k-1]
+		return p
+	}
+	return new(packet.Packet)
+}
+
+// putRxPkt returns a packet struct to the freelist. The payload alias is
+// dropped so the wire buffer it points into can be collected.
+func (n *NIC) putRxPkt(p *packet.Packet) {
+	p.Payload = nil
+	n.rxFree = append(n.rxFree, p)
+}
+
 // receive is the RX entry point for frames arriving from the switch.
 func (n *NIC) receive(wire []byte) {
 	// The phy/pipeline drop decision happens at arrival: a stalled
@@ -255,10 +279,11 @@ func (n *NIC) receive(wire []byte) {
 		n.Counters.Inc(CtrRxDiscardsPhy)
 		return
 	}
-	var pkt packet.Packet
-	if err := packet.Decode(wire, &pkt); err != nil || !pkt.IsRoCE() {
+	pkt := n.getRxPkt()
+	if err := packet.DecodeInto(wire, pkt); err != nil || !pkt.IsRoCE() {
 		// Non-RoCE traffic (e.g. the generators' TCP metadata exchange)
 		// is out of scope for the hardware transport.
+		n.putRxPkt(pkt)
 		return
 	}
 	n.Counters.Inc(CtrRxRoCEPackets)
@@ -270,23 +295,30 @@ func (n *NIC) receive(wire []byte) {
 	// iCRC check precedes all transport processing.
 	if err := packet.VerifyICRC(wire); err != nil {
 		n.Counters.Inc(CtrICRCErrors)
+		n.putRxPkt(pkt)
 		return
 	}
 
 	// APM slow path (§6.2.3): data packets carrying MigReq=0 on strict
 	// receivers may detour or be discarded.
 	if n.Prof.StrictAPM && !pkt.BTH.MigReq && pkt.BTH.Opcode.IsData() {
-		if !n.apmAdmit(&pkt) {
+		if !n.apmAdmit(pkt) {
 			n.Counters.Inc(CtrRxDiscardsPhy)
+			n.putRxPkt(pkt)
 			return
 		}
-		// apmAdmit schedules delayed delivery itself when queued.
-		if n.apmQueued(&pkt) {
+		// apmAdmit schedules delayed delivery itself (with its own copy)
+		// when queued.
+		if n.apmQueued(pkt) {
+			n.putRxPkt(pkt)
 			return
 		}
 	}
 
-	n.Sim.After(n.Prof.PipelineDelay, func() { n.dispatch(&pkt) })
+	n.Sim.After(n.Prof.PipelineDelay, func() {
+		n.dispatch(pkt)
+		n.putRxPkt(pkt)
+	})
 }
 
 // dispatch routes a parsed packet to congestion processing and its QP.
@@ -345,7 +377,10 @@ func (n *NIC) maybeSendCNP(pkt *packet.Packet) {
 	if !n.Prof.BugCNPSentStuck {
 		n.Counters.Inc(CtrNpCnpSent)
 	}
-	cnp := &packet.Packet{
+	// Built in the QP's scratch packet and serialized immediately — the
+	// wire bytes are what crosses the emission delay, not the struct.
+	cnp := &qp.scratch
+	*cnp = packet.Packet{
 		Eth: packet.Ethernet{Dst: qp.remote.MAC, Src: n.MAC, EtherType: packet.EtherTypeIPv4},
 		IP: packet.IPv4{
 			DSCP: 48, ECN: packet.ECNNotECT, TTL: 64, Protocol: packet.ProtoUDP,
@@ -354,9 +389,10 @@ func (n *NIC) maybeSendCNP(pkt *packet.Packet) {
 		UDP: packet.UDP{SrcPort: qp.udpSrcPort, DstPort: packet.RoCEv2Port},
 		BTH: packet.BTH{Opcode: packet.OpCNP, BECN: true, MigReq: n.Prof.MigReqInit, DestQP: qp.remote.QPN},
 	}
+	wire := cnp.Serialize()
 	// CNPs bypass pacing: they are tiny control packets emitted by the
 	// congestion engine, not the WQE scheduler.
-	n.Sim.After(200, func() { n.transmit(cnp.Serialize(), qp) })
+	n.Sim.After(200, func() { n.transmit(wire, qp) })
 }
 
 // --- slow-path engine (noisy neighbor, §6.2.2) ---

@@ -203,6 +203,11 @@ type QP struct {
 	paceReadyAt sim.Time
 	rp          *rpState
 
+	// scratch is the per-connection packet used to build outgoing wire
+	// bytes. Every build resets it, serializes immediately, and never
+	// retains the pointer, so one struct serves the whole QP lifetime.
+	scratch packet.Packet
+
 	// track is this QP's telemetry timeline row; lastTxAt feeds the
 	// per-QP inter-packet-gap histogram (both only consulted when a
 	// telemetry hub is attached).
@@ -336,25 +341,44 @@ func (qp *QP) pump() {
 			panic(fmt.Sprintf("rnic: no WQE covers PSN %d", psn))
 		}
 		if w.req.Verb.IsAtomic() {
-			size := qp.atomicRequestWireLen(w)
-			qp.enqueue(size, func() []byte { return qp.buildAtomicRequest(w, psn) })
+			qp.enqueue(txPkt{kind: txAtomicReq, size: qp.atomicRequestWireLen(w), w: w, psn: psn})
 			qp.sendPtr = psnAdd(psn, 1)
 		} else if w.req.Verb == VerbRead {
 			// One request packet asks for all remaining response PSNs.
-			size := qp.readRequestWireLen()
-			qp.enqueue(size, func() []byte { return qp.buildReadRequest(w, psn) })
+			qp.enqueue(txPkt{kind: txReadReq, size: qp.readRequestWireLen(), w: w, psn: psn})
 			qp.sendPtr = psnAdd(w.endPSN, 1)
 		} else {
-			size := qp.dataWireLen(w, psn)
-			qp.enqueue(size, func() []byte { return qp.buildDataPacket(w, psn) })
+			qp.enqueue(txPkt{kind: txData, size: qp.dataWireLen(w, psn), w: w, psn: psn})
 			qp.sendPtr = psnAdd(psn, 1)
 		}
 	}
 	qp.armTimer()
 }
 
-func (qp *QP) enqueue(size int, build func() []byte) {
-	qp.nic.sched.enqueue(qp, txPkt{size: size, build: build})
+func (qp *QP) enqueue(pkt txPkt) {
+	qp.nic.sched.enqueue(qp, pkt)
+}
+
+// buildTx serializes a queued descriptor at transmit time. Building
+// lazily here (instead of capturing a closure at enqueue time) keeps
+// Go-back-N semantics — flushed packets cost nothing and rewinds
+// regenerate fresh bytes — without a per-packet closure allocation.
+func (qp *QP) buildTx(pkt txPkt) []byte {
+	switch pkt.kind {
+	case txData:
+		return qp.buildDataPacket(pkt.w, pkt.psn)
+	case txReadReq:
+		return qp.buildReadRequest(pkt.w, pkt.psn)
+	case txAtomicReq:
+		return qp.buildAtomicRequest(pkt.w, pkt.psn)
+	case txReadResp:
+		return qp.buildReadResponse(pkt.ctx, pkt.i, pkt.psn)
+	case txAck:
+		return qp.buildAckPacket(pkt.psn, pkt.syndrome, pkt.msn)
+	case txAtomicAck:
+		return qp.buildAtomicAckPacket(pkt.psn, pkt.msn, pkt.orig)
+	}
+	panic(fmt.Sprintf("rnic: unknown txPkt kind %d", pkt.kind))
 }
 
 // rewind restarts transmission from psn (Go-back-N) and flushes packets
@@ -379,8 +403,12 @@ func (qp *QP) srcIP() netip.Addr { return qp.cfg.SrcIP }
 
 // --- packet construction ---
 
+// baseHeader resets the QP's scratch packet to a fresh header for op/psn.
+// The returned pointer aliases qp.scratch: callers fill in the extended
+// headers and serialize before the next build.
 func (qp *QP) baseHeader(op packet.Opcode, psn uint32) *packet.Packet {
-	return &packet.Packet{
+	p := &qp.scratch
+	*p = packet.Packet{
 		Eth: packet.Ethernet{Dst: qp.remote.MAC, Src: qp.nic.MAC, EtherType: packet.EtherTypeIPv4},
 		IP: packet.IPv4{
 			DSCP: 26, ECN: packet.ECNECT0, TTL: 64, Protocol: packet.ProtoUDP,
@@ -392,6 +420,7 @@ func (qp *QP) baseHeader(op packet.Opcode, psn uint32) *packet.Packet {
 			DestQP: qp.remote.QPN, PSN: psn,
 		},
 	}
+	return p
 }
 
 // segLen returns the payload length of packet index i of a message of
@@ -460,10 +489,13 @@ func respOpcode(i, npkts int) packet.Opcode {
 	}
 }
 
+// dataWireLen computes the on-wire size of packet psn of w arithmetically
+// — no packet is built just to measure it.
 func (qp *QP) dataWireLen(w *wqe, psn uint32) int {
 	i := int(psnSub(psn, w.startPSN))
-	p := qp.makeDataPacket(w, psn, i)
-	return p.WireLen()
+	op := dataOpcode(w.req.Verb, i, w.npkts, w.req.UseImm)
+	n := segLen(w.req.Length, qp.cfg.MTU, i, w.npkts)
+	return packet.WireSize(op, n, (4-n%4)%4)
 }
 
 func (qp *QP) makeDataPacket(w *wqe, psn uint32, i int) *packet.Packet {
@@ -492,8 +524,7 @@ func (qp *QP) buildDataPacket(w *wqe, psn uint32) []byte {
 }
 
 func (qp *QP) readRequestWireLen() int {
-	p := qp.baseHeader(packet.OpReadRequest, 0)
-	return p.WireLen()
+	return packet.WireSize(packet.OpReadRequest, 0, 0)
 }
 
 // buildReadRequest builds the READ_REQUEST for a read WQE starting at
@@ -524,12 +555,22 @@ func (qp *QP) noteTransmit(psn uint32) {
 	qp.anySent = true
 }
 
+// sharedZeros backs zeroPayload for every common MTU. It is read-only
+// after initialization: serialization only copies from the payload slice,
+// so aliasing it across QPs (and across per-worker simulators) is safe.
+var sharedZeros [4096]byte
+
 // zeroPayload returns an n-byte zero slice; contents are irrelevant to
 // every analyzer (the dumper trims payloads anyway) and zero payloads
 // keep iCRC computation honest without burning memory on patterns.
+// Payloads up to 4 KiB (the largest IB MTU) alias a shared static array
+// instead of allocating per packet.
 func zeroPayload(n int) []byte {
 	if n <= 0 {
 		return nil
+	}
+	if n <= len(sharedZeros) {
+		return sharedZeros[:n:n]
 	}
 	return make([]byte, n)
 }
@@ -869,13 +910,23 @@ func (qp *QP) sendNakNow(syndrome uint8) {
 // acknowledgements in PSN order, and an ACK overtaking a response range
 // would make the requester discard the whole range as duplicates.
 func (qp *QP) sendAckPacket(psn uint32, syndrome uint8) {
-	p := qp.baseHeader(packet.OpAcknowledge, psn)
-	p.AETH = packet.AETH{Syndrome: syndrome, MSN: qp.msn}
+	// The MSN is snapshotted now: an ACK's content is fixed at generation
+	// time even when it queues behind read responses.
+	msn := qp.msn
 	if len(qp.txq) > 0 {
-		qp.enqueue(p.WireLen(), func() []byte { return p.Serialize() })
+		qp.enqueue(txPkt{
+			kind: txAck, size: packet.WireSize(packet.OpAcknowledge, 0, 0),
+			psn: psn, syndrome: syndrome, msn: msn,
+		})
 		return
 	}
-	qp.nic.transmit(p.Serialize(), qp)
+	qp.nic.transmit(qp.buildAckPacket(psn, syndrome, msn), qp)
+}
+
+func (qp *QP) buildAckPacket(psn uint32, syndrome uint8, msn uint32) []byte {
+	p := qp.baseHeader(packet.OpAcknowledge, psn)
+	p.AETH = packet.AETH{Syndrome: syndrome, MSN: msn}
+	return p.Serialize()
 }
 
 // --- responder: Read requests ---
@@ -961,10 +1012,8 @@ func (qp *QP) findRead(psn uint32) (readCtx, bool) {
 // through the data scheduler.
 func (qp *QP) enqueueReadResponses(ctx readCtx, from int) {
 	for i := from; i < ctx.npkts; i++ {
-		i := i
 		psn := psnAdd(ctx.startPSN, uint32(i))
-		size := qp.readResponseWireLen(ctx, i)
-		qp.enqueue(size, func() []byte { return qp.buildReadResponse(ctx, i, psn) })
+		qp.enqueue(txPkt{kind: txReadResp, size: qp.readResponseWireLen(ctx, i), ctx: ctx, i: i, psn: psn})
 	}
 }
 
@@ -981,8 +1030,9 @@ func (qp *QP) makeReadResponse(ctx readCtx, i int, psn uint32) *packet.Packet {
 }
 
 func (qp *QP) readResponseWireLen(ctx readCtx, i int) int {
-	psn := psnAdd(ctx.startPSN, uint32(i))
-	return qp.makeReadResponse(ctx, i, psn).WireLen()
+	op := respOpcode(i, ctx.npkts)
+	n := segLen(ctx.length, qp.cfg.MTU, i, ctx.npkts)
+	return packet.WireSize(op, n, (4-n%4)%4)
 }
 
 func (qp *QP) buildReadResponse(ctx readCtx, i int, psn uint32) []byte {
@@ -1012,7 +1062,7 @@ func (qp *QP) makeAtomicRequest(w *wqe, psn uint32) *packet.Packet {
 }
 
 func (qp *QP) atomicRequestWireLen(w *wqe) int {
-	return qp.makeAtomicRequest(w, 0).WireLen()
+	return packet.WireSize(atomicOpcode(w.req.Verb), 0, 0)
 }
 
 func (qp *QP) buildAtomicRequest(w *wqe, psn uint32) []byte {
@@ -1084,20 +1134,30 @@ func (qp *QP) rememberAtomic(psn uint32, orig uint64) {
 }
 
 func (qp *QP) sendAtomicAck(psn uint32, orig uint64) {
-	p := qp.baseHeader(packet.OpAtomicAcknowledge, psn)
-	p.AETH = packet.AETH{Syndrome: packet.SyndromeACK | 31, MSN: qp.msn}
-	p.AtomicAck = orig
+	// Snapshot the MSN at generation time, matching the pre-built packet
+	// this path used to carry across the ack-generation delay.
+	msn := qp.msn
 	d := qp.nic.Prof.AckGenDelay
 	qp.nic.Sim.After(d, func() {
 		if qp.errored {
 			return
 		}
 		if len(qp.txq) > 0 {
-			qp.enqueue(p.WireLen(), func() []byte { return p.Serialize() })
+			qp.enqueue(txPkt{
+				kind: txAtomicAck, size: packet.WireSize(packet.OpAtomicAcknowledge, 0, 0),
+				psn: psn, msn: msn, orig: orig,
+			})
 			return
 		}
-		qp.nic.transmit(p.Serialize(), qp)
+		qp.nic.transmit(qp.buildAtomicAckPacket(psn, msn, orig), qp)
 	})
+}
+
+func (qp *QP) buildAtomicAckPacket(psn, msn uint32, orig uint64) []byte {
+	p := qp.baseHeader(packet.OpAtomicAcknowledge, psn)
+	p.AETH = packet.AETH{Syndrome: packet.SyndromeACK | 31, MSN: msn}
+	p.AtomicAck = orig
+	return p.Serialize()
 }
 
 // handleAtomicAck completes the atomic WQE at the requester with the

@@ -42,7 +42,16 @@ func (p *Port) Peer() *Port { return p.peer }
 // plus propagation delay. Send never blocks; queueing is unbounded, as in
 // the paper's testbed the switch MMU is the only loss point and losses
 // there are modelled explicitly by the injector.
-func (p *Port) Send(data []byte) {
+func (p *Port) Send(data []byte) { p.send(data, nil) }
+
+// SendRecycle is Send for callers that pool their frame buffers: after
+// the peer's receive handler returns, recycle(data) is invoked so the
+// buffer can be reused. The receiver must therefore not retain the slice
+// beyond its handler (it may copy what it needs) — which is exactly the
+// contract the dumper path honors by trimming into its own storage.
+func (p *Port) SendRecycle(data []byte, recycle func([]byte)) { p.send(data, recycle) }
+
+func (p *Port) send(data []byte, recycle func([]byte)) {
 	if p.link == nil {
 		panic(fmt.Sprintf("sim: send on disconnected port %q", p.Name))
 	}
@@ -65,7 +74,8 @@ func (p *Port) Send(data []byte) {
 
 	peer := p.peer
 	arrive := done.Add(p.link.Propagation)
-	s.At(done, func() { p.QueueBytes -= int64(len(data)) })
+	n := int64(len(data))
+	s.At(done, func() { p.QueueBytes -= n })
 	s.At(arrive, func() {
 		peer.RxFrames++
 		peer.RxBytes += uint64(len(data))
@@ -73,6 +83,9 @@ func (p *Port) Send(data []byte) {
 			panic(fmt.Sprintf("sim: frame arrived at port %q with no receiver", peer.Name))
 		}
 		peer.recv(data)
+		if recycle != nil {
+			recycle(data)
+		}
 	})
 }
 

@@ -14,7 +14,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"time"
@@ -65,55 +64,132 @@ func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
 // Microseconds reports the duration as fractional microseconds.
 func (d Duration) Microseconds() float64 { return float64(d) / float64(Microsecond) }
 
-// event is a single scheduled callback.
+// event is a single scheduled callback. Event structs are recycled
+// through the simulator's freelist; gen counts recycles so that stale
+// EventRefs held by components can never cancel a later occupant of the
+// same struct.
 type event struct {
 	at   Time
 	seq  uint64 // tie-breaker: FIFO among events at the same instant
 	fn   func()
-	idx  int // heap index, -1 once popped or cancelled
+	idx  int    // heap index, -1 once popped or cancelled
+	gen  uint64 // incremented every time the struct is recycled
 	dead bool
 }
 
 // EventRef identifies a scheduled event so it can be cancelled. The zero
-// value is inert: cancelling it is a no-op.
-type EventRef struct{ ev *event }
+// value is inert: cancelling it is a no-op. A ref captures the event's
+// generation, so refs to fired or cancelled events stay inert even after
+// the underlying struct is reused for a new event.
+type EventRef struct {
+	ev  *event
+	gen uint64
+}
 
-// Cancelled reports whether the event was cancelled (or never scheduled).
-func (r EventRef) Cancelled() bool { return r.ev == nil || r.ev.dead }
+// Cancelled reports whether the event was cancelled or already fired (or
+// never scheduled).
+func (r EventRef) Cancelled() bool {
+	return r.ev == nil || r.ev.gen != r.gen || r.ev.dead
+}
 
+// eventHeap is an indexed 4-ary min-heap ordered by (at, seq). A 4-ary
+// layout halves the tree depth of the binary heap it replaced, and the
+// maintained idx field gives O(log n) cancellation without lazy deletion
+// — the queue never holds dead events.
 type eventHeap []*event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) {
+
+func (h eventHeap) swap(i, j int) {
 	h[i], h[j] = h[j], h[i]
 	h[i].idx = i
 	h[j].idx = j
 }
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
+
+func (h eventHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h eventHeap) down(i int) {
+	n := len(h)
+	for {
+		first := 4*i + 1
+		if first >= n {
+			return
+		}
+		best := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if h.less(c, best) {
+				best = c
+			}
+		}
+		if !h.less(best, i) {
+			return
+		}
+		h.swap(i, best)
+		i = best
+	}
+}
+
+func (h *eventHeap) push(ev *event) {
 	ev.idx = len(*h)
 	*h = append(*h, ev)
+	h.up(ev.idx)
 }
-func (h *eventHeap) Pop() any {
+
+// pop removes and returns the minimum event.
+func (h *eventHeap) pop() *event {
 	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
+	ev := old[0]
+	n := len(old) - 1
+	old.swap(0, n)
+	old[n] = nil
+	*h = old[:n]
+	if n > 0 {
+		(*h).down(0)
+	}
 	ev.idx = -1
-	*h = old[:n-1]
 	return ev
+}
+
+// remove deletes the event at index i.
+func (h *eventHeap) remove(i int) {
+	old := *h
+	n := len(old) - 1
+	ev := old[i]
+	if i != n {
+		old.swap(i, n)
+	}
+	old[n] = nil
+	*h = old[:n]
+	if i < n {
+		(*h).down(i)
+		(*h).up(i)
+	}
+	ev.idx = -1
 }
 
 // Simulator owns the virtual clock and the event queue.
 type Simulator struct {
 	now     Time
 	queue   eventHeap
+	free    []*event // recycled event structs; see recycle
 	nextSeq uint64
 	rng     *RNG
 
@@ -167,10 +243,27 @@ func (s *Simulator) At(at Time, fn func()) EventRef {
 	if at < s.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, s.now))
 	}
-	ev := &event{at: at, seq: s.nextSeq, fn: fn}
+	var ev *event
+	if n := len(s.free); n > 0 {
+		ev = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		ev.at, ev.seq, ev.fn, ev.dead = at, s.nextSeq, fn, false
+	} else {
+		ev = &event{at: at, seq: s.nextSeq, fn: fn}
+	}
 	s.nextSeq++
-	heap.Push(&s.queue, ev)
-	return EventRef{ev: ev}
+	s.queue.push(ev)
+	return EventRef{ev: ev, gen: ev.gen}
+}
+
+// recycle returns a fired or cancelled event struct to the freelist. The
+// generation bump invalidates every outstanding EventRef to it, and
+// dropping fn releases whatever the callback closure captured.
+func (s *Simulator) recycle(ev *event) {
+	ev.fn = nil
+	ev.gen++
+	s.free = append(s.free, ev)
 }
 
 // After schedules fn to run d nanoseconds from now. Negative d panics.
@@ -186,30 +279,31 @@ func (s *Simulator) After(d Duration, fn func()) EventRef {
 // actually removed.
 func (s *Simulator) Cancel(r EventRef) bool {
 	ev := r.ev
-	if ev == nil || ev.dead || ev.idx < 0 {
+	if ev == nil || ev.gen != r.gen || ev.dead || ev.idx < 0 {
 		return false
 	}
 	ev.dead = true
-	heap.Remove(&s.queue, ev.idx)
+	s.queue.remove(ev.idx)
 	s.cancelled++
+	s.recycle(ev)
 	return true
 }
 
 // Step fires the single earliest pending event. It reports false when the
-// queue is empty.
+// queue is empty. Cancellation removes events from the heap eagerly, so
+// whatever sits at the top is live.
 func (s *Simulator) Step() bool {
-	for len(s.queue) > 0 {
-		ev := heap.Pop(&s.queue).(*event)
-		if ev.dead {
-			continue
-		}
-		ev.dead = true
-		s.now = ev.at
-		s.executed++
-		ev.fn()
-		return true
+	if len(s.queue) == 0 {
+		return false
 	}
-	return false
+	ev := s.queue.pop()
+	ev.dead = true
+	s.now = ev.at
+	s.executed++
+	fn := ev.fn
+	s.recycle(ev)
+	fn()
+	return true
 }
 
 // Run drains the event queue until no events remain, then returns the
@@ -229,13 +323,7 @@ func (s *Simulator) RunUntil(deadline Time) {
 	s.running = true
 	defer func() { s.running = false }()
 	for len(s.queue) > 0 {
-		// Peek without popping: dead entries may sit at the top.
-		top := s.queue[0]
-		if top.dead {
-			heap.Pop(&s.queue)
-			continue
-		}
-		if top.at > deadline {
+		if s.queue[0].at > deadline {
 			break
 		}
 		s.Step()
@@ -250,13 +338,8 @@ func (s *Simulator) RunFor(d Duration) { s.RunUntil(s.now.Add(d)) }
 
 // NextEventTime reports the instant of the earliest pending event.
 func (s *Simulator) NextEventTime() (Time, bool) {
-	for len(s.queue) > 0 {
-		top := s.queue[0]
-		if top.dead {
-			heap.Pop(&s.queue)
-			continue
-		}
-		return top.at, true
+	if len(s.queue) > 0 {
+		return s.queue[0].at, true
 	}
 	return 0, false
 }

@@ -335,3 +335,117 @@ func TestDurationSeconds(t *testing.T) {
 		t.Fatalf("Seconds = %v", got)
 	}
 }
+
+// TestHeapOrderRandomized drives the 4-ary heap with a large randomized
+// schedule, including cancellations, and checks events fire in strict
+// (time, FIFO) order.
+func TestHeapOrderRandomized(t *testing.T) {
+	s := New(3)
+	rng := s.RNG().Fork()
+	type fired struct {
+		at  Time
+		seq int
+	}
+	var got []fired
+	var refs []EventRef
+	seq := 0
+	for i := 0; i < 5000; i++ {
+		at := Time(rng.Intn(1000))
+		n := seq
+		seq++
+		refs = append(refs, s.At(at, func() {
+			got = append(got, fired{s.Now(), n})
+		}))
+	}
+	// Cancel a third of them, including re-cancels which must be no-ops.
+	cancelled := map[int]bool{}
+	for i := 0; i < len(refs); i += 3 {
+		if !s.Cancel(refs[i]) {
+			t.Fatalf("first Cancel of live event %d returned false", i)
+		}
+		if s.Cancel(refs[i]) {
+			t.Fatalf("second Cancel of event %d returned true", i)
+		}
+		cancelled[i] = true
+	}
+	s.Run()
+	want := 5000 - len(cancelled)
+	if len(got) != want {
+		t.Fatalf("fired %d events, want %d", len(got), want)
+	}
+	for i := 1; i < len(got); i++ {
+		a, b := got[i-1], got[i]
+		if a.at > b.at || (a.at == b.at && a.seq > b.seq) {
+			t.Fatalf("out of order at %d: (%v,%d) before (%v,%d)", i, a.at, a.seq, b.at, b.seq)
+		}
+	}
+	for _, f := range got {
+		if cancelled[f.seq] {
+			t.Fatalf("cancelled event %d fired", f.seq)
+		}
+	}
+}
+
+// TestEventRecyclingIsolatesRefs checks the generation scheme: a ref to a
+// fired (or cancelled) event stays inert even after the underlying event
+// struct is recycled for a new event — cancelling the stale ref must not
+// cancel the new occupant.
+func TestEventRecyclingIsolatesRefs(t *testing.T) {
+	s := New(1)
+	stale := s.After(1, func() {})
+	s.Run() // fires and recycles the struct
+	if !stale.Cancelled() {
+		t.Fatal("ref to fired event should report cancelled")
+	}
+	fired := false
+	fresh := s.After(5, func() { fired = true }) // reuses the recycled struct
+	if fresh.ev != stale.ev {
+		t.Skip("freelist did not reuse the struct; generation path not exercised")
+	}
+	if s.Cancel(stale) {
+		t.Fatal("stale ref cancelled the recycled event's new occupant")
+	}
+	s.Run()
+	if !fired {
+		t.Fatal("new event did not fire: stale ref leaked a cancellation")
+	}
+
+	// Same for a cancelled-then-recycled event.
+	victim := s.After(1, func() {})
+	s.Cancel(victim)
+	fired2 := false
+	fresh2 := s.After(2, func() { fired2 = true })
+	if fresh2.ev == victim.ev && s.Cancel(victim) {
+		t.Fatal("stale ref to a cancelled event hit the recycled occupant")
+	}
+	s.Run()
+	if !fired2 {
+		t.Fatal("second event did not fire")
+	}
+}
+
+// TestEventFreelistBoundsAllocation checks steady-state scheduling reuses
+// event structs instead of allocating: after warmup, a schedule/fire loop
+// should not grow the heap.
+func TestEventFreelistBoundsAllocation(t *testing.T) {
+	s := New(1)
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		if n < 10000 {
+			s.After(1, tick)
+		}
+	}
+	s.After(1, tick)
+	allocs := testing.AllocsPerRun(10, func() {
+		for i := 0; i < 100; i++ {
+			if !s.Step() {
+				return
+			}
+		}
+	})
+	if allocs > 1 {
+		t.Fatalf("steady-state schedule/fire loop allocates %.1f/run, want ~0", allocs)
+	}
+}
