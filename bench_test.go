@@ -14,6 +14,7 @@ import (
 	lumina "github.com/lumina-sim/lumina"
 	"github.com/lumina-sim/lumina/internal/config"
 	"github.com/lumina-sim/lumina/internal/experiments"
+	"github.com/lumina-sim/lumina/internal/inband"
 	"github.com/lumina-sim/lumina/internal/orchestrator"
 	"github.com/lumina-sim/lumina/internal/packet"
 	"github.com/lumina-sim/lumina/internal/rnic"
@@ -300,6 +301,32 @@ func BenchmarkICRC(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_ = packet.ComputeICRC(wire[:len(wire)-4])
+	}
+}
+
+// BenchmarkINTStamp is the in-band telemetry hot path: an origin hop
+// tags and stamps a RoCE packet, a transit hop resolves the tag and
+// restamps, and the compact stamp is decoded back. Mirrors the
+// perfgate int_stamp workload; budgeted at zero allocations.
+func BenchmarkINTStamp(b *testing.B) {
+	c := inband.NewCollector(nil)
+	origin := c.RegisterHop("nic", true)
+	transit := c.RegisterHop("sw", false)
+	wire := benchPacket().Serialize()
+	// One warm pass grows the stamp log to steady-state capacity.
+	c.StampWire(wire, origin, 0, 0, 0)
+	c.StampWire(wire, transit, 100, 1500, 80)
+	c.Reset()
+	var t int64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t += 1000
+		c.StampWire(wire, origin, t, 0, sim.Duration(t/2))
+		c.StampWire(wire, transit, t+100, 1500, sim.Duration(t/4))
+		if _, ok := packet.DecodeINTStamp(wire); !ok {
+			b.Fatal("INT stamp did not decode")
+		}
+		c.Reset()
 	}
 }
 

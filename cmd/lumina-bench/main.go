@@ -15,6 +15,8 @@
 //	lumina-bench -gate            # after experiments, run the perf gate:
 //	                              # exit non-zero naming any workload over
 //	                              # its checked-in allocation budget
+//	lumina-bench -gate -json      # also write BENCH_perfgate.json with the
+//	                              # per-workload measurements + violations
 package main
 
 import (
@@ -213,15 +215,18 @@ func main() {
 	}
 
 	if *gate {
-		runGate()
+		runGate(*jsonOut, *jsonDir)
 	}
 }
 
 // runGate measures every perfgate workload against the checked-in
 // budgets (internal/perfgate/perf_budgets.json) and exits non-zero
 // naming each offender. Allocation counts are deterministic, so a
-// failure here reproduces identically on any machine.
-func runGate() {
+// failure here reproduces identically on any machine. With -json the
+// per-workload measurements and any violations are also written to
+// BENCH_perfgate.json (before exiting, so a busted budget still leaves
+// the evidence on disk).
+func runGate(jsonOut bool, jsonDir string) {
 	fmt.Println("=== perf-gate ===")
 	results, violations, err := perfgate.Gate()
 	if err != nil {
@@ -229,6 +234,23 @@ func runGate() {
 	}
 	for _, r := range results {
 		fmt.Printf("%-22s %10.1f allocs/op %14.1f bytes/op\n", r.Name, r.AllocsPerOp, r.BytesPerOp)
+	}
+	if jsonOut {
+		out := struct {
+			Name       string               `json:"name"`
+			Pass       bool                 `json:"pass"`
+			Results    []perfgate.Result    `json:"results"`
+			Violations []perfgate.Violation `json:"violations,omitempty"`
+		}{Name: "perfgate", Pass: len(violations) == 0, Results: results, Violations: violations}
+		js, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		path := filepath.Join(jsonDir, "BENCH_perfgate.json")
+		if err := os.WriteFile(path, append(js, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", path)
 	}
 	if len(violations) > 0 {
 		for _, v := range violations {

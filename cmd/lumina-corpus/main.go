@@ -8,6 +8,7 @@
 //	lumina-corpus add     [-corpus dir] [-minimize] [-workers N] cfg.yaml...
 //	lumina-corpus minimize [-workers N] [-out file] cfg.yaml
 //	lumina-corpus replay  [-corpus dir] [-profiles cx4,cx5,...] [-workers N]
+//	                      [-int] [-artifacts dir]
 //	lumina-corpus list    [-corpus dir]
 //
 // replay exits non-zero if any (entry, profile) cell drifts from its
@@ -61,7 +62,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   lumina-corpus add      [-corpus dir] [-minimize] [-workers N] cfg.yaml...
   lumina-corpus minimize [-workers N] [-out file] cfg.yaml
-  lumina-corpus replay   [-corpus dir] [-profiles cx4,cx5,...] [-workers N]
+  lumina-corpus replay   [-corpus dir] [-profiles cx4,cx5,...] [-workers N] [-int] [-artifacts dir]
   lumina-corpus list     [-corpus dir]`)
 }
 
@@ -171,13 +172,16 @@ func cmdReplay(args []string) error {
 	dir := fs.String("corpus", "corpus", "corpus directory")
 	profCSV := fs.String("profiles", "", "comma-separated NIC models to replay against (default: all)")
 	workers := fs.Int("workers", 0, "engine worker-pool size: 0 = one per CPU, 1 = serial (matrix is identical for every value)")
+	intFlag := fs.Bool("int", false, "replay with in-band telemetry enabled (observe-only: cells still judge against the INT-agnostic goldens)")
+	artifacts := fs.String("artifacts", "", "write each cell's summary.json (and int.json with -int) under this directory for byte-level diffing")
 	fs.Parse(args)
 	profiles, err := parseProfiles(*profCSV)
 	if err != nil {
 		return err
 	}
 	m, err := corpus.Replay(context.Background(), *dir,
-		corpus.ReplayOptions{Profiles: profiles, Workers: *workers})
+		corpus.ReplayOptions{Profiles: profiles, Workers: *workers,
+			INT: *intFlag, ArtifactsDir: *artifacts})
 	if err != nil {
 		return err
 	}

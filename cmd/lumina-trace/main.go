@@ -16,9 +16,18 @@
 //
 // Usage:
 //
+// The hops subcommand prints the in-band telemetry view of a run made
+// with `lumina -int -out`: the hop table with queue/utilization
+// aggregates and, per causal chain, every packet's per-hop crossings
+// (timestamp, queue depth ahead, link utilization, latency to the next
+// hop) — reading int.json from the artifact directory.
+//
+// Usage:
+//
 //	lumina-trace -pcap results/trace.pcap [-n 50] [-analyze]
 //	lumina-trace timeline -pcap results/trace.pcap -out timeline.json
 //	lumina-trace explain -run results -qp 0x1a2b3c -psn 5
+//	lumina-trace hops -run results [-lineage 3]
 package main
 
 import (
@@ -45,6 +54,9 @@ func main() {
 			return
 		case "explain":
 			explainCmd(os.Args[2:])
+			return
+		case "hops":
+			hopsCmd(os.Args[2:])
 			return
 		}
 	}
@@ -288,6 +300,100 @@ func explainCmd(argv []string) {
 				orAny(*qpStr), *psn, len(items)))
 		}
 		fmt.Println("no injected events in this run: nothing to explain")
+	}
+}
+
+// hopsCmd prints the per-hop INT breakdown of a run: the hop table,
+// then each causal chain's nodes with the hop crossings of the packet
+// behind them.
+func hopsCmd(argv []string) {
+	fs := flag.NewFlagSet("hops", flag.ExitOnError)
+	runDir := fs.String("run", "", "artifact directory from `lumina -int -out`")
+	intPath := fs.String("int", "", "int.json to read (overrides -run)")
+	lineageID := fs.Uint64("lineage", 0, "print only the chain with this lineage ID (0 = all)")
+	fs.Parse(argv)
+
+	if *intPath == "" && *runDir != "" {
+		*intPath = filepath.Join(*runDir, "int.json")
+	}
+	if *intPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: lumina-trace hops (-run dir | -int int.json) [-lineage N]")
+		os.Exit(2)
+	}
+	js, err := os.ReadFile(*intPath)
+	if err != nil {
+		fatal(err)
+	}
+	var ir orchestrator.INTReport
+	if err := json.Unmarshal(js, &ir); err != nil {
+		fatal(fmt.Errorf("%s: %v", *intPath, err))
+	}
+	if ir.Schema != orchestrator.INTSchema {
+		fmt.Fprintf(os.Stderr, "lumina-trace: warning: %s has schema %q, expected %q\n",
+			*intPath, ir.Schema, orchestrator.INTSchema)
+	}
+
+	fmt.Printf("%d stamp(s), %d transit(s), %d lineage bind(s)\n\n", ir.Stamps, ir.Transits, ir.Binds)
+	fmt.Printf("%-3s %-12s %-6s %8s %12s %10s\n", "id", "hop", "origin", "stamps", "max-queue-B", "max-util")
+	for _, h := range ir.Hops {
+		origin := "-"
+		if h.Origin {
+			origin = "yes"
+		}
+		fmt.Printf("%-3d %-12s %-6s %8d %12d %7d/1000\n",
+			h.ID, h.Name, origin, h.Stamps, h.MaxQueueBytes, h.MaxUtilPermille)
+	}
+
+	for _, v := range ir.Verdicts {
+		result := "PASS"
+		if !v.Pass {
+			result = "FAIL"
+		}
+		fmt.Printf("\n%-12s %s  %s\n", v.Analyzer, result, v.Reason)
+	}
+
+	matched := 0
+	for i := range ir.Chains {
+		ch := &ir.Chains[i]
+		if *lineageID != 0 && ch.Lineage != *lineageID {
+			continue
+		}
+		matched++
+		status := "incomplete"
+		if ch.Completed {
+			status = "completed"
+		}
+		fmt.Printf("\nchain %d (%s, psn %d, %s):\n", ch.Lineage, ch.Event, ch.PSN, status)
+		for j := range ch.Nodes {
+			n := &ch.Nodes[j]
+			fmt.Printf("  %-12s @%-10d psn=%d", n.Kind, n.AtNs, n.PSN)
+			if n.Seq != 0 {
+				fmt.Printf(" seq=%d", n.Seq)
+			}
+			if n.Transit != 0 {
+				fmt.Printf(" transit=%d", n.Transit)
+			}
+			fmt.Println()
+			for _, cr := range n.Hops {
+				lat := ""
+				if cr.LatencyNs > 0 {
+					lat = fmt.Sprintf("  +%dns to next hop", cr.LatencyNs)
+				}
+				fmt.Printf("    %-12s @%-10d queue %6dB  util %4d/1000%s\n",
+					cr.Hop, cr.AtNs, cr.QueueBytes, cr.UtilPermille, lat)
+			}
+		}
+		for _, d := range ch.PerHop {
+			fmt.Printf("  per-hop %-12s %d crossing(s), max queue %dB, max util %d/1000, total latency %dns\n",
+				d.Hop, d.Crossings, d.MaxQueueBytes, d.MaxUtilPermille, d.TotalLatencyNs)
+		}
+	}
+	if matched == 0 {
+		if *lineageID != 0 {
+			fatal(fmt.Errorf("no chain with lineage ID %d (%d chain(s) in %s)",
+				*lineageID, len(ir.Chains), *intPath))
+		}
+		fmt.Println("\nno causal chains in this run (no injected events, or run made without -int/lineage)")
 	}
 }
 

@@ -1,13 +1,13 @@
 // Command lumina runs one Lumina test from a yamlite configuration file
 // (the paper's Listings 1–2 schema), prints a summary with analyzer
 // verdicts, and optionally writes the collected artifacts (report.json,
-// trace.pcap, metrics.json, timeline.json, summary.json) to a
-// directory.
+// trace.pcap, metrics.json, timeline.json, summary.json, and with -int
+// also int.json) to a directory.
 //
 // Usage:
 //
 //	lumina -config test.yaml [-out results/] [-analyze] [-deadline 600]
-//	       [-timeline t.json] [-metrics m.json]
+//	       [-timeline t.json] [-metrics m.json] [-int]
 package main
 
 import (
@@ -27,6 +27,7 @@ func main() {
 	deadline := flag.Int("deadline", 600, "virtual-time deadline in seconds")
 	timeline := flag.String("timeline", "", "write a Perfetto-compatible timeline (Chrome trace-event JSON) to this file")
 	metrics := flag.String("metrics", "", "write the telemetry metrics snapshot (JSON) to this file")
+	intFlag := flag.Bool("int", false, "enable in-band telemetry: per-hop INT stamping, joined to lineage chains (int.json with -out)")
 	flag.Parse()
 
 	if *cfgPath == "" {
@@ -44,6 +45,7 @@ func main() {
 		// lineage chains).
 		Telemetry: *timeline != "" || *metrics != "" || *outDir != "",
 		Lineage:   true,
+		INT:       *intFlag,
 	})
 	if err != nil {
 		fatal(err)
@@ -128,6 +130,26 @@ func main() {
 			if n := len(rep.Lineage.Chains); n > 0 && *outDir != "" {
 				fmt.Printf("%d causal chain(s); inspect one with: lumina-trace explain -run %s -psn <psn>\n", n, *outDir)
 			}
+		}
+	}
+
+	if rep.INT != nil {
+		fmt.Println("\n--- in-band telemetry ---")
+		fmt.Printf("%d per-hop stamp(s) across %d transit(s), %d hop(s), %d lineage bind(s)\n",
+			rep.INT.Stamps, rep.INT.Transits, len(rep.INT.Hops), rep.INT.Binds)
+		for _, v := range rep.INT.Verdicts {
+			result := "PASS"
+			if !v.Pass {
+				result = "FAIL"
+			}
+			fmt.Printf("%-12s %s  %s", v.Analyzer, result, v.Reason)
+			if len(v.Chains) > 0 {
+				fmt.Printf("  [lineage %s]", joinIDs(v.Chains))
+			}
+			fmt.Println()
+		}
+		if *outDir != "" && len(rep.INT.Chains) > 0 {
+			fmt.Printf("per-hop breakdowns: lumina-trace hops -run %s [-lineage <id>]\n", *outDir)
 		}
 	}
 

@@ -1,0 +1,114 @@
+package analyzer
+
+import (
+	"fmt"
+
+	"github.com/lumina-sim/lumina/internal/inband"
+	"github.com/lumina-sim/lumina/internal/lineage"
+)
+
+// HopVerdicts runs the hop-level analyzers over the INT-annotated
+// lineage chains — the fabric-attribution counterpart of Verdicts.
+// These verdicts live in int.json (Report.INT), not Report.Verdicts:
+// summary.json and the corpus goldens must stay byte-identical whether
+// INT ran or not.
+//
+//   - int-coverage: every wire-visible chain node carries per-hop
+//     stamps joined via the pipeline's transit↔lineage bind (the INT
+//     analogue of the trace integrity check).
+//   - int-pressure: for each chain that ended in a retransmission,
+//     attribute it to the deepest egress queue any of its packets saw
+//     before the retransmitted PSN reappeared on the wire.
+func HopVerdicts(chains []inband.ChainHops, hops []inband.HopSummary) []Verdict {
+	return []Verdict{intCoverage(chains, hops), intPressure(chains)}
+}
+
+func intCoverage(chains []inband.ChainHops, hops []inband.HopSummary) Verdict {
+	v := Verdict{Analyzer: "int-coverage"}
+	wireNodes, joined, crossings := 0, 0, 0
+	var firstUnjoined string
+	for _, ch := range chains {
+		v.Chains = append(v.Chains, ch.Lineage)
+		for _, n := range ch.Nodes {
+			if n.Seq == 0 {
+				continue // probe-derived node: never crossed the switch
+			}
+			wireNodes++
+			if len(n.Hops) > 0 {
+				joined++
+				crossings += len(n.Hops)
+			} else if firstUnjoined == "" {
+				firstUnjoined = fmt.Sprintf("%s (seq %d) of chain %d",
+					n.Kind, n.Seq, ch.Lineage)
+			}
+		}
+	}
+	stamped := uint64(0)
+	for _, h := range hops {
+		stamped += h.Stamps
+	}
+	switch {
+	case len(chains) == 0:
+		v.Pass = stamped > 0
+		v.Reason = fmt.Sprintf("no causal chains to join; %d stamp(s) collected across %d hop(s)",
+			stamped, len(hops))
+	case joined == wireNodes:
+		v.Pass = true
+		v.Reason = fmt.Sprintf("%d chain(s): all %d wire node(s) joined to %d per-hop stamp(s)",
+			len(chains), wireNodes, crossings)
+	default:
+		v.Reason = fmt.Sprintf("%d of %d wire node(s) missing per-hop stamps; first: %s",
+			wireNodes-joined, wireNodes, firstUnjoined)
+	}
+	return v
+}
+
+func intPressure(chains []inband.ChainHops) Verdict {
+	v := Verdict{Analyzer: "int-pressure", Pass: true}
+	attributed := 0
+	var first string
+	for _, ch := range chains {
+		retransAt := int64(-1)
+		var retransPSN uint32
+		for _, n := range ch.Nodes {
+			if n.Kind == string(lineage.NodeRetransmit) {
+				retransAt, retransPSN = n.AtNs, n.PSN
+				break
+			}
+		}
+		if retransAt < 0 {
+			continue
+		}
+		// Deepest queue any of the chain's packets crossed before the
+		// retransmission hit the wire.
+		var deepest *inband.HopCrossing
+		for i := range ch.Nodes {
+			for j := range ch.Nodes[i].Hops {
+				cr := &ch.Nodes[i].Hops[j]
+				if cr.AtNs <= retransAt && (deepest == nil || cr.QueueBytes > deepest.QueueBytes) {
+					deepest = cr
+				}
+			}
+		}
+		if deepest == nil {
+			continue
+		}
+		v.Chains = append(v.Chains, ch.Lineage)
+		attributed++
+		if first == "" {
+			if deepest.QueueBytes > 0 {
+				first = fmt.Sprintf("retransmission of psn %d (chain %d) was preceded by queue buildup at hop %s (%d bytes queued, util %d/1000)",
+					retransPSN, ch.Lineage, deepest.Hop, deepest.QueueBytes, deepest.UtilPermille)
+			} else {
+				first = fmt.Sprintf("retransmission of psn %d (chain %d) saw no queue buildup; deepest hop %s was idle (util %d/1000)",
+					retransPSN, ch.Lineage, deepest.Hop, deepest.UtilPermille)
+			}
+		}
+	}
+	if attributed == 0 {
+		v.Reason = "no retransmission chains to attribute"
+		return v
+	}
+	v.Reason = fmt.Sprintf("%d retransmission chain(s) attributed; %s", attributed, first)
+	return v
+}

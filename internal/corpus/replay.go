@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"os"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -146,6 +147,16 @@ type ReplayOptions struct {
 	// Hub, when non-nil, receives one corpus.replay probe per cell in
 	// row-major order.
 	Hub *telemetry.Hub
+	// INT enables in-band telemetry on every replayed cell. INT is
+	// observe-only, so cells still judge against the INT-agnostic
+	// goldens — an INT-enabled replay that drifts has caught the INT
+	// machinery perturbing the simulation.
+	INT bool
+	// ArtifactsDir, when non-empty, writes each runnable cell's
+	// summary.json (and, with INT, int.json) under
+	// ArtifactsDir/<entry>/<profile>/ — the raw material for diffing two
+	// replays (e.g. different worker counts) byte-for-byte in CI.
+	ArtifactsDir string
 }
 
 // Replay re-runs every corpus entry under every requested profile and
@@ -212,7 +223,7 @@ func Replay(ctx context.Context, dir string, opts ReplayOptions) (*Matrix, error
 			jobs = append(jobs, engine.Job{
 				Label: fmt.Sprintf("%s@%s", e.ID, p),
 				Cfg:   withProfile(e.Config, p),
-				Opts:  orchestrator.Options{Deadline: deadline, Lineage: true},
+				Opts:  orchestrator.Options{Deadline: deadline, Lineage: true, INT: opts.INT},
 			})
 			refs = append(refs, cellRef{i, j})
 		}
@@ -223,7 +234,13 @@ func Replay(ctx context.Context, dir string, opts ReplayOptions) (*Matrix, error
 	cells := make(map[cellRef]Cell)
 	for k := range results {
 		ref := refs[k]
-		cells[ref] = judge(states[ref.row].entry, opts.Profiles[ref.col], &results[k])
+		c := judge(states[ref.row].entry, opts.Profiles[ref.col], &results[k])
+		if opts.ArtifactsDir != "" && results[k].Err == nil {
+			if err := dumpCellArtifacts(opts.ArtifactsDir, &results[k]); err != nil && c.Status == Pass {
+				c.Status, c.Detail = Error, err.Error()
+			}
+		}
+		cells[ref] = c
 	}
 	for i, id := range ids {
 		st := states[i]
@@ -251,6 +268,41 @@ func Replay(ctx context.Context, dir string, opts ReplayOptions) (*Matrix, error
 }
 
 func entryDir(dir, id string) string { return filepath.Join(dir, id) }
+
+// dumpCellArtifacts writes one replayed cell's diffable artifacts under
+// dir/<entry>/<profile>/: summary.json always, int.json when the replay
+// ran with INT. Both files are byte-deterministic, so two dump trees
+// from different worker counts must be identical — CI diffs them.
+func dumpCellArtifacts(dir string, res *engine.JobResult) error {
+	entry, profile, ok := strings.Cut(res.Label, "@")
+	if !ok || res.Report == nil {
+		return nil
+	}
+	cellDir := filepath.Join(dir, entry, profile)
+	if err := os.MkdirAll(cellDir, 0o755); err != nil {
+		return err
+	}
+	write := func(name string, render func(io.Writer) error) error {
+		f, err := os.Create(filepath.Join(cellDir, name))
+		if err != nil {
+			return err
+		}
+		if err := render(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err := write("summary.json", res.Report.WriteSummary); err != nil {
+		return err
+	}
+	if res.Report.INT != nil {
+		if err := write("int.json", res.Report.WriteINT); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // judge compares one replayed cell against its golden expectation.
 func judge(e *Entry, profile string, res *engine.JobResult) Cell {

@@ -1,0 +1,64 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"github.com/lumina-sim/lumina/internal/config"
+	"github.com/lumina-sim/lumina/internal/orchestrator"
+)
+
+// int.json (and summary.json next to it) must be byte-identical at any
+// engine worker count — the determinism contract CI diffs enforce for
+// INT-enabled corpus replays.
+func TestINTByteIdenticalAcrossWorkerCounts(t *testing.T) {
+	mk := func(seed int64) config.Test {
+		c := config.Default()
+		c.Seed = seed
+		c.Traffic.NumConnections = 2
+		c.Traffic.NumMsgsPerQP = 5
+		c.Traffic.MessageSize = 10240
+		c.Traffic.Events = []config.Event{
+			{QPN: 1, PSN: 4, Type: "ecn", Iter: 1},
+			{QPN: 2, PSN: 5, Type: "drop", Iter: 1},
+		}
+		return c
+	}
+	cfgs := []config.Test{mk(1), mk(99)}
+	opts := orchestrator.DefaultOptions()
+	opts.Telemetry = true
+	opts.Lineage = true
+	opts.INT = true
+
+	artifacts := func(workers int) [][]byte {
+		reps, err := RunConfigs(context.Background(), cfgs, opts, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out [][]byte
+		for _, rep := range reps {
+			if rep.INT == nil {
+				t.Fatal("INT-enabled engine run produced no INT report")
+			}
+			var intBuf, sumBuf bytes.Buffer
+			if err := rep.WriteINT(&intBuf); err != nil {
+				t.Fatal(err)
+			}
+			if err := rep.WriteSummary(&sumBuf); err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, intBuf.Bytes(), sumBuf.Bytes())
+		}
+		return out
+	}
+	serial, parallel := artifacts(1), artifacts(4)
+	if len(serial) != len(parallel) {
+		t.Fatal("worker counts returned different run counts")
+	}
+	for i := range serial {
+		if !bytes.Equal(serial[i], parallel[i]) {
+			t.Fatalf("artifact %d differs between workers=1 and workers=4", i)
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"net/netip"
 
 	"github.com/lumina-sim/lumina/internal/config"
+	"github.com/lumina-sim/lumina/internal/inband"
 	"github.com/lumina-sim/lumina/internal/packet"
 	"github.com/lumina-sim/lumina/internal/sim"
 	"github.com/lumina-sim/lumina/internal/telemetry"
@@ -123,6 +124,14 @@ type Switch struct {
 	perPort []PortCounters
 	total   PortCounters
 
+	// intCol/intHop make the match-action pipeline an INT stamping hop:
+	// every mirrored RoCE packet's transit ID is bound to the mirror
+	// sequence number — the join key between INT stamps and lineage
+	// chains — and the forwarded original is restamped with the
+	// pipeline's hop ID (see inband.Collector.Pipeline).
+	intCol *inband.Collector
+	intHop uint8
+
 	// ByIngressMirror reproduces the initial two-host dumper design
 	// (§3.4): each ingress port's mirrors go to one fixed dumper instead
 	// of the weighted round-robin spray.
@@ -182,6 +191,13 @@ func (sw *Switch) AttachDumper(port *sim.Port, weight int) {
 	sw.dumperPorts = append(sw.dumperPorts, port)
 	sw.wrrWeights = append(sw.wrrWeights, weight)
 	sw.wrrCurrent = append(sw.wrrCurrent, 0)
+}
+
+// EnableINT registers the match-action pipeline as an INT hop on the
+// collector. Must be called before traffic starts.
+func (sw *Switch) EnableINT(c *inband.Collector) {
+	sw.intCol = c
+	sw.intHop = c.RegisterHop("sw-pipeline", false)
 }
 
 // AddConnection seeds the ITER tracker from exchanged traffic metadata.
@@ -481,6 +497,12 @@ func (sw *Switch) mirror(wire []byte, ev packet.EventType, ingress int) {
 	dup := sw.getMirrorBuf(len(wire))
 	copy(dup, wire)
 	sw.mirrorSeq++
+	if sw.intCol != nil {
+		// INT pipeline hop on the forwarded original (the mirror copy is
+		// already duplicated): stamp the ingress instant and bind transit
+		// ID ↔ mirror sequence number, the lineage join key.
+		sw.intCol.Pipeline(wire, sw.intHop, int64(sw.Sim.Now()), sw.mirrorSeq)
+	}
 	packet.EmbedMirrorMeta(dup, packet.MirrorMeta{
 		Seq:       sw.mirrorSeq,
 		Event:     ev,

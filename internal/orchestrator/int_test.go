@@ -1,0 +1,190 @@
+package orchestrator
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/lumina-sim/lumina/internal/analyzer"
+	"github.com/lumina-sim/lumina/internal/telemetry"
+)
+
+func intOpts() Options {
+	opts := DefaultOptions()
+	opts.Telemetry = true
+	opts.Lineage = true
+	opts.INT = true
+	return opts
+}
+
+func TestINTReportEndToEnd(t *testing.T) {
+	rep, err := Run(lineageCfg(), intOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ir := rep.INT
+	if ir == nil {
+		t.Fatal("Options.INT set but Report.INT is nil")
+	}
+	if ir.Schema != INTSchema {
+		t.Fatalf("schema = %q, want %q", ir.Schema, INTSchema)
+	}
+	if ir.Stamps == 0 || ir.Transits == 0 || ir.Binds == 0 {
+		t.Fatalf("stamps/transits/binds = %d/%d/%d, want all nonzero", ir.Stamps, ir.Transits, ir.Binds)
+	}
+	if len(ir.Hops) != 5 {
+		t.Fatalf("hop table = %+v, want 5 hops (2 NIC origins, 2 switch egress, pipeline)", ir.Hops)
+	}
+	for _, h := range ir.Hops {
+		if h.Stamps == 0 {
+			t.Fatalf("hop %s collected no stamps", h.Name)
+		}
+	}
+	if len(ir.Chains) == 0 {
+		t.Fatal("no annotated chains despite lineage being on")
+	}
+	// The drop chain's wire nodes must join to per-hop stamps.
+	joined := false
+	for _, ch := range ir.Chains {
+		for _, n := range ch.Nodes {
+			if n.Seq != 0 && len(n.Hops) > 0 {
+				joined = true
+			}
+		}
+	}
+	if !joined {
+		t.Fatal("no wire node joined to any INT stamp")
+	}
+	// Both hop-level analyzers must report, pass, and cite chains.
+	if len(ir.Verdicts) != 2 {
+		t.Fatalf("INT verdicts = %+v, want int-coverage and int-pressure", ir.Verdicts)
+	}
+	for _, v := range ir.Verdicts {
+		if !v.Pass {
+			t.Fatalf("verdict %s failed: %s", v.Analyzer, v.Reason)
+		}
+		if v.Reason == "" {
+			t.Fatalf("verdict %s has no reason", v.Analyzer)
+		}
+	}
+	// The pressure verdict attributes the drop's retransmission, citing
+	// the chain it judged.
+	var pressure *analyzer.Verdict
+	for i := range ir.Verdicts {
+		if ir.Verdicts[i].Analyzer == "int-pressure" {
+			pressure = &ir.Verdicts[i]
+		}
+	}
+	if pressure == nil || len(pressure.Chains) == 0 {
+		t.Fatalf("int-pressure cites no lineage chains: %+v", ir.Verdicts)
+	}
+	// INT verdicts stay out of the main verdict list (corpus goldens are
+	// INT-agnostic) but do appear as probes on the "int" track.
+	for _, v := range rep.Verdicts {
+		if v.Analyzer == "int-coverage" || v.Analyzer == "int-pressure" {
+			t.Fatal("INT verdict leaked into Report.Verdicts")
+		}
+	}
+	probes := 0
+	for _, ev := range rep.Events {
+		if ev.Kind == telemetry.KindVerdict && ev.Track == "int" {
+			probes++
+		}
+	}
+	if probes != len(ir.Verdicts) {
+		t.Fatalf("%d INT verdict probes for %d verdicts", probes, len(ir.Verdicts))
+	}
+}
+
+func TestINTArtifactRoundTrips(t *testing.T) {
+	rep, err := Run(lineageCfg(), intOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := rep.WriteArtifacts(dir); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "int.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got INTReport
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != INTSchema || got.Stamps != rep.INT.Stamps || len(got.Chains) != len(rep.INT.Chains) {
+		t.Fatalf("int.json round-trip mismatch: %+v", got)
+	}
+}
+
+// INT is observe-only: it never perturbs the simulated behaviour, so
+// summary.json — the artifact corpus goldens digest — stays
+// byte-identical with INT on and off, and the reconstructed trace tells
+// the same packet story (same entries, PSNs, opcodes, timestamps,
+// verdicts). The raw capture bytes differ only in the three
+// iCRC-masked header fields stamps ride in — exactly what a real
+// postcard-INT deployment's pcaps look like — and timeline.json /
+// metrics.json legitimately gain the INT probes and roll-ups.
+func TestINTIsObserveOnly(t *testing.T) {
+	cfg := lineageCfg()
+	plainRep, plain := runArtifacts(t, cfg)
+
+	rep, err := Run(cfg, intOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := rep.WriteArtifacts(dir); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(dir, "summary.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain["summary.json"], b) {
+		t.Fatal("enabling INT changed summary.json bytes")
+	}
+	if len(rep.Trace.Entries) != len(plainRep.Trace.Entries) {
+		t.Fatalf("trace entry count changed: %d vs %d", len(rep.Trace.Entries), len(plainRep.Trace.Entries))
+	}
+	for i := range rep.Trace.Entries {
+		a, p := &rep.Trace.Entries[i], &plainRep.Trace.Entries[i]
+		if a.Meta != p.Meta || a.Pkt.BTH.PSN != p.Pkt.BTH.PSN || a.Pkt.BTH.Opcode != p.Pkt.BTH.Opcode {
+			t.Fatalf("trace entry %d diverged with INT on: %+v vs %+v", i, a.Meta, p.Meta)
+		}
+	}
+	if len(rep.Verdicts) != len(plainRep.Verdicts) {
+		t.Fatal("enabling INT changed the main verdict list")
+	}
+	for i := range rep.Verdicts {
+		if rep.Verdicts[i].Pass != plainRep.Verdicts[i].Pass || rep.Verdicts[i].Reason != plainRep.Verdicts[i].Reason {
+			t.Fatalf("verdict %d diverged with INT on", i)
+		}
+	}
+}
+
+func TestPortGaugesPublishedWithoutINT(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Telemetry = true
+	rep, err := Run(lineageCfg(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.INT != nil {
+		t.Fatal("INT report built without Options.INT")
+	}
+	found := 0
+	for _, g := range rep.Metrics.Gauges {
+		switch g.Name {
+		case "port.req-nic.max_queue_bytes", "port.req-nic.util_permille",
+			"port.sw-req.max_queue_bytes", "port.sw-resp.util_permille":
+			found++
+		}
+	}
+	if found != 4 {
+		t.Fatalf("per-port gauges missing from metrics registry (found %d/4): %v", found, rep.Metrics.Gauges)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"github.com/lumina-sim/lumina/internal/analyzer"
 	"github.com/lumina-sim/lumina/internal/config"
 	"github.com/lumina-sim/lumina/internal/dumper"
+	"github.com/lumina-sim/lumina/internal/inband"
 	"github.com/lumina-sim/lumina/internal/injector"
 	"github.com/lumina-sim/lumina/internal/lineage"
 	"github.com/lumina-sim/lumina/internal/packet"
@@ -49,6 +50,17 @@ type Options struct {
 	// the endpoint-internal nodes (rewind, rto-fire, rate-cut,
 	// completion) only probes can witness.
 	Lineage bool
+
+	// INT enables in-band telemetry: NIC egress ports, switch egress
+	// ports and the injector's match-action pipeline stamp every
+	// forwarded RoCE packet with hop ID, timestamp, queue depth and
+	// link utilization in iCRC-invariant header fields; the collected
+	// stamps are joined with lineage chains into Report.INT (serialized
+	// to int.json by WriteArtifacts). INT is observe-only like Telemetry
+	// and Lineage: trace, verdicts, and summary.json are byte-identical
+	// with it on or off. Per-hop breakdowns require Lineage (the join
+	// keys on its chains); stamp collection alone does not.
+	INT bool
 }
 
 // DefaultOptions allows generous virtual time for timeout-heavy tests.
@@ -101,6 +113,13 @@ type Report struct {
 	// Verdicts are the analyzer pass/fail judgements citing lineage
 	// chains; nil unless Options.Lineage was set.
 	Verdicts []analyzer.Verdict `json:"-"`
+
+	// INT is the in-band telemetry report (per-hop stamps joined to
+	// lineage chains); nil unless Options.INT was set. Serialized to
+	// int.json by WriteArtifacts, and deliberately kept out of
+	// report.json and summary.json so INT-enabled runs replay against
+	// INT-agnostic corpus goldens.
+	INT *INTReport `json:"-"`
 }
 
 // Testbed is the assembled simulation, exposed so tests and experiment
@@ -115,6 +134,13 @@ type Testbed struct {
 	Switch  *injector.Switch
 	Pool    *dumper.Pool
 	Pair    *traffic.Pair
+
+	// Ports holds every fabric port in creation order (host NIC, switch
+	// host-facing, dumper, switch dumper-facing); Execute publishes their
+	// queue/utilization gauges into the metrics registry.
+	Ports []*sim.Port
+	// INT is the in-band telemetry collector; nil unless Options.INT.
+	INT *inband.Collector
 }
 
 // Build assembles the testbed for cfg without starting traffic.
@@ -151,6 +177,22 @@ func Build(cfg config.Test, opts Options) (*Testbed, error) {
 	respNIC.AttachPort(respPort)
 	sw.AttachHost(swReq, reqNIC.MAC)
 	sw.AttachHost(swResp, respNIC.MAC)
+	ports := []*sim.Port{reqPort, swReq, respPort, swResp}
+
+	// INT stamping hops, in fixed registration order: NIC egress ports
+	// originate transits, switch egress ports append their view, and the
+	// injector's pipeline (registered by EnableINT) binds transit IDs to
+	// mirror sequence numbers. Dumper-facing ports are never stamped —
+	// mirror copies must reach the trace with their bytes untouched.
+	var col *inband.Collector
+	if opts.INT {
+		col = inband.NewCollector(s.Hub())
+		col.AttachPort(reqPort, true)
+		col.AttachPort(respPort, true)
+		col.AttachPort(swReq, false)
+		col.AttachPort(swResp, false)
+		sw.EnableINT(col)
+	}
 
 	// Dumper pool. In the two-host (no per-packet LB) design only two
 	// nodes are used, one per traffic direction.
@@ -172,6 +214,7 @@ func Build(cfg config.Test, opts Options) (*Testbed, error) {
 			w = cfg.Dumpers.Weights[i]
 		}
 		sw.AttachDumper(swPort, w)
+		ports = append(ports, nodePort, swPort)
 	}
 
 	pair, err := traffic.NewPair(s, reqNIC, respNIC, cfg.Traffic)
@@ -200,6 +243,7 @@ func Build(cfg config.Test, opts Options) (*Testbed, error) {
 		Cfg: cfg, Opts: opts,
 		Sim: s, ReqNIC: reqNIC, RespNIC: respNIC,
 		Switch: sw, Pool: pool, Pair: pair,
+		Ports: ports, INT: col,
 	}, nil
 }
 
@@ -292,7 +336,25 @@ func (tb *Testbed) Execute() (*Report, error) {
 				telemetry.S("reason", v.Reason))
 		}
 	}
+	if tb.INT != nil {
+		rep.INT = tb.buildINTReport(rep, hub)
+	}
 	if hub.Active() {
+		// Per-port fabric gauges (queue high-water mark, link
+		// utilization): published whenever telemetry is on, INT or not,
+		// so metrics.json always reflects fabric state.
+		now := int64(tb.Sim.Now())
+		for _, p := range tb.Ports {
+			hub.SetGauge("port."+p.Name+".max_queue_bytes", p.MaxQueue)
+			util := int64(0)
+			if now > 0 {
+				util = int64(p.Busy) * 1000 / now
+				if util > 1000 {
+					util = 1000
+				}
+			}
+			hub.SetGauge("port."+p.Name+".util_permille", util)
+		}
 		rep.Metrics = hub.Snapshot()
 		rep.Events = hub.Events()
 	}
@@ -310,7 +372,7 @@ func Run(cfg config.Test, opts Options) (*Report, error) {
 
 // WriteArtifacts stores the collected results in dir: report.json,
 // trace.pcap, plus — when the corresponding option was on —
-// metrics.json, timeline.json, and summary.json.
+// metrics.json, timeline.json, summary.json, and int.json.
 func (r *Report) WriteArtifacts(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
@@ -359,6 +421,16 @@ func (r *Report) WriteArtifacts(dir string) error {
 		}
 		defer f.Close()
 		if err := r.WriteSummary(f); err != nil {
+			return err
+		}
+	}
+	if r.INT != nil {
+		f, err := os.Create(filepath.Join(dir, "int.json"))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := r.WriteINT(f); err != nil {
 			return err
 		}
 	}

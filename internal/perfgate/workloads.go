@@ -4,6 +4,7 @@ import (
 	"net/netip"
 
 	"github.com/lumina-sim/lumina/internal/config"
+	"github.com/lumina-sim/lumina/internal/inband"
 	"github.com/lumina-sim/lumina/internal/orchestrator"
 	"github.com/lumina-sim/lumina/internal/packet"
 	"github.com/lumina-sim/lumina/internal/sim"
@@ -23,6 +24,7 @@ var workloads = map[string]workloadFn{
 	"packet_decode_into": packetDecodeInto,
 	"packet_icrc":        packetICRC,
 	"sim_events":         simEvents,
+	"int_stamp":          intStamp,
 	"end_to_end_run":     endToEndRun,
 }
 
@@ -88,6 +90,33 @@ func simEvents() (int, func()) {
 	return 50000, func() {
 		s.After(1, fn)
 		s.Step()
+	}
+}
+
+// intStamp is the in-band telemetry hot path: an origin hop tags and
+// stamps a RoCE packet, a transit hop resolves the tag and restamps,
+// and the compact stamp is decoded back — the per-packet cost of an
+// INT-enabled run. Budgeted at zero allocations: the stamp log is
+// truncated (capacity kept) each op, exactly how steady state reuses
+// it.
+func intStamp() (int, func()) {
+	c := inband.NewCollector(nil)
+	origin := c.RegisterHop("nic", true)
+	transit := c.RegisterHop("sw", false)
+	wire := samplePacket().Serialize()
+	// One warm pass grows the stamp log to its steady-state capacity.
+	c.StampWire(wire, origin, 0, 0, 0)
+	c.StampWire(wire, transit, 100, 1500, 80)
+	c.Reset()
+	var t int64
+	return 20000, func() {
+		t += 1000
+		c.StampWire(wire, origin, t, 0, sim.Duration(t/2))
+		c.StampWire(wire, transit, t+100, 1500, sim.Duration(t/4))
+		if _, ok := packet.DecodeINTStamp(wire); !ok {
+			panic("perfgate: int_stamp decode failed")
+		}
+		c.Reset()
 	}
 }
 

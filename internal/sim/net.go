@@ -25,6 +25,26 @@ type Port struct {
 	RxBytes    uint64
 	QueueBytes int64 // bytes currently waiting for or in serialization
 	MaxQueue   int64
+	// Busy is the cumulative serialization time committed to this port's
+	// transmitter — the link-utilization numerator (Busy / elapsed). It
+	// is credited at enqueue time, so over a window it can briefly exceed
+	// the elapsed time (queued frames whose airtime lies in the future).
+	Busy Duration
+
+	// stamp, when set, observes every frame at enqueue time — before the
+	// frame's own bytes are added to the queue gauges — and may rewrite
+	// bytes in place (the INT stamping hook). It must not schedule events
+	// or retain the slice.
+	stamp func(data []byte, at Time, queuedAhead int64, busy Duration)
+}
+
+// SetStamper installs the per-frame egress hook invoked synchronously
+// inside Send, with the queue depth ahead of the frame and the port's
+// cumulative busy time at that instant. A nil fn removes the hook.
+// Stamping is observe-and-rewrite only: the simulated schedule is
+// identical with or without it.
+func (p *Port) SetStamper(fn func(data []byte, at Time, queuedAhead int64, busy Duration)) {
+	p.stamp = fn
 }
 
 // SetReceiver installs the function invoked for every frame arriving at
@@ -57,6 +77,9 @@ func (p *Port) send(data []byte, recycle func([]byte)) {
 	}
 	s := p.sim
 	now := s.Now()
+	if p.stamp != nil {
+		p.stamp(data, now, p.QueueBytes, p.Busy)
+	}
 	start := now
 	if p.txFreeAt > start {
 		start = p.txFreeAt
@@ -64,6 +87,7 @@ func (p *Port) send(data []byte, recycle func([]byte)) {
 	ser := p.link.SerializationDelay(len(data))
 	done := start.Add(ser)
 	p.txFreeAt = done
+	p.Busy += ser
 
 	p.TxFrames++
 	p.TxBytes += uint64(len(data))

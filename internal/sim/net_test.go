@@ -131,6 +131,131 @@ func TestQueueGaugeReturnsToZero(t *testing.T) {
 	}
 }
 
+func TestQueueGaugeMultiPortInterleaved(t *testing.T) {
+	// Interleaved sends across two independent links: each port's gauge
+	// tracks only its own backlog, and high-water marks never bleed
+	// between ports.
+	s := New(1)
+	a, _, _ := pipe(t, s, 100, 0)
+	c, d := Connect(s, "c", "d", 10, 0)
+	d.SetReceiver(func([]byte) {})
+	c.SetReceiver(func([]byte) {})
+	for i := 0; i < 5; i++ {
+		a.Send(make([]byte, 1250))
+		c.Send(make([]byte, 500))
+	}
+	if a.QueueBytes != 6250 || c.QueueBytes != 2500 {
+		t.Fatalf("queues = %d/%d after interleaved sends, want 6250/2500", a.QueueBytes, c.QueueBytes)
+	}
+	s.Run()
+	if a.QueueBytes != 0 || c.QueueBytes != 0 {
+		t.Fatalf("queues = %d/%d after drain, want 0/0", a.QueueBytes, c.QueueBytes)
+	}
+	if a.MaxQueue != 6250 || c.MaxQueue != 2500 {
+		t.Fatalf("high-water marks = %d/%d, want 6250/2500", a.MaxQueue, c.MaxQueue)
+	}
+}
+
+func TestQueueGaugeDuplexIndependent(t *testing.T) {
+	// The two directions of one link are separate queues: a deep backlog
+	// on A→B must leave B→A's gauge untouched.
+	s := New(1)
+	a, b := Connect(s, "a", "b", 100, 0)
+	a.SetReceiver(func([]byte) {})
+	b.SetReceiver(func([]byte) {})
+	for i := 0; i < 8; i++ {
+		a.Send(make([]byte, 1250))
+	}
+	b.Send(make([]byte, 100))
+	if a.QueueBytes != 10000 || b.QueueBytes != 100 {
+		t.Fatalf("queues = %d/%d, want 10000/100", a.QueueBytes, b.QueueBytes)
+	}
+	s.Run()
+	if a.MaxQueue != 10000 || b.MaxQueue != 100 {
+		t.Fatalf("high-water marks = %d/%d, want 10000/100", a.MaxQueue, b.MaxQueue)
+	}
+}
+
+func TestQueueGaugeDrainSchedule(t *testing.T) {
+	// Back-to-back sends drain one serialization time apart: 3×1250B at
+	// 100 Gbps leave the queue at t=100, 200, 300 exactly.
+	s := New(1)
+	a, _, _ := pipe(t, s, 100, 0)
+	for i := 0; i < 3; i++ {
+		a.Send(make([]byte, 1250))
+	}
+	want := []struct {
+		at    Time
+		queue int64
+	}{{99, 3750}, {100, 2500}, {199, 2500}, {200, 1250}, {299, 1250}, {300, 0}}
+	for _, w := range want {
+		s.RunUntil(w.at)
+		if a.QueueBytes != w.queue {
+			t.Fatalf("QueueBytes = %d at t=%d, want %d", a.QueueBytes, w.at, w.queue)
+		}
+	}
+	if a.MaxQueue != 3750 {
+		t.Fatalf("MaxQueue = %d, want 3750", a.MaxQueue)
+	}
+}
+
+func TestBusyAccumulatesAcrossIdleGaps(t *testing.T) {
+	// Busy is cumulative committed serialization time, unaffected by idle
+	// gaps between frames.
+	s := New(1)
+	a, _, _ := pipe(t, s, 100, 0)
+	a.Send(make([]byte, 1250)) // 100 ns
+	s.Run()
+	s.At(s.Now().Add(5000), func() { a.Send(make([]byte, 2500)) }) // 200 ns
+	s.Run()
+	if a.Busy != 300 {
+		t.Fatalf("Busy = %v after 100ns + 200ns of serialization, want 300", a.Busy)
+	}
+}
+
+func TestStamperSeesPreFrameState(t *testing.T) {
+	// The stamper observes the port as the frame arrives at the queue:
+	// bytes queued ahead of it and Busy *before* this frame's own
+	// serialization is credited.
+	s := New(1)
+	a, _, _ := pipe(t, s, 100, 0)
+	type obs struct {
+		at    Time
+		ahead int64
+		busy  Duration
+	}
+	var got []obs
+	a.SetStamper(func(data []byte, at Time, queuedAhead int64, busy Duration) {
+		got = append(got, obs{at, queuedAhead, busy})
+	})
+	for i := 0; i < 3; i++ {
+		a.Send(make([]byte, 1250))
+	}
+	s.Run()
+	want := []obs{{0, 0, 0}, {0, 1250, 100}, {0, 2500, 200}}
+	if len(got) != len(want) {
+		t.Fatalf("stamper fired %d times, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("stamp %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestStamperMutationReachesReceiver(t *testing.T) {
+	// Stamping rewrites header bytes in place; the receiver must see the
+	// stamped frame, not a pre-stamp copy.
+	s := New(1)
+	a, _, rx := pipe(t, s, 100, 0)
+	a.SetStamper(func(data []byte, _ Time, _ int64, _ Duration) { data[0] = 0xEE })
+	a.Send(make([]byte, 64))
+	s.Run()
+	if len(*rx) != 1 || (*rx)[0][0] != 0xEE {
+		t.Fatalf("receiver saw %d frame(s), first byte %#x; want stamped 0xEE", len(*rx), (*rx)[0][0])
+	}
+}
+
 func TestTxBacklog(t *testing.T) {
 	s := New(1)
 	a, _, _ := pipe(t, s, 100, 0)

@@ -32,6 +32,7 @@ import (
 	"github.com/lumina-sim/lumina/internal/corpus"
 	"github.com/lumina-sim/lumina/internal/engine"
 	"github.com/lumina-sim/lumina/internal/fuzz"
+	"github.com/lumina-sim/lumina/internal/inband"
 	"github.com/lumina-sim/lumina/internal/lineage"
 	"github.com/lumina-sim/lumina/internal/minimize"
 	"github.com/lumina-sim/lumina/internal/orchestrator"
@@ -102,6 +103,18 @@ type (
 func BuildLineage(tr *Trace, events []TelemetryEvent) *LineageGraph {
 	return lineage.Build(tr, events)
 }
+
+// In-band telemetry (Options.INT: per-hop INT stamping in spare,
+// iCRC-masked header fields, collected into Report.INT / int.json and
+// joined with lineage chains for hop-level latency attribution — see
+// `lumina-trace hops`).
+type (
+	INTReport     = orchestrator.INTReport
+	INTStamp      = inband.Stamp
+	INTHopSummary = inband.HopSummary
+	INTChainHops  = inband.ChainHops
+	INTHopDigest  = inband.HopDigest
+)
 
 // Fuzzing (§4, Algorithm 1).
 type (
