@@ -13,6 +13,7 @@ import (
 
 	lumina "github.com/lumina-sim/lumina"
 	"github.com/lumina-sim/lumina/internal/config"
+	"github.com/lumina-sim/lumina/internal/coverage"
 	"github.com/lumina-sim/lumina/internal/experiments"
 	"github.com/lumina-sim/lumina/internal/inband"
 	"github.com/lumina-sim/lumina/internal/orchestrator"
@@ -327,6 +328,22 @@ func BenchmarkINTStamp(b *testing.B) {
 			b.Fatal("INT stamp did not decode")
 		}
 		c.Reset()
+	}
+}
+
+// BenchmarkCoverageRecord is the behavioral-coverage hot path: Record
+// calls on an attached map plus the nil-map no-op every detached
+// component pays. Mirrors the perfgate coverage_record workload;
+// budgeted at zero allocations.
+func BenchmarkCoverageRecord(b *testing.B) {
+	m := coverage.NewMap()
+	var detached *coverage.Map
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Record(coverage.SiteQPState, 1)
+		m.Record(coverage.SiteInjectLookup, 0)
+		m.Record(coverage.SiteDCQCNRP, 4)
+		detached.Record(coverage.SiteAck, 0)
 	}
 }
 

@@ -8,11 +8,17 @@
 //	lumina-corpus add     [-corpus dir] [-minimize] [-workers N] cfg.yaml...
 //	lumina-corpus minimize [-workers N] [-out file] cfg.yaml
 //	lumina-corpus replay  [-corpus dir] [-profiles cx4,cx5,...] [-workers N]
-//	                      [-int] [-artifacts dir]
-//	lumina-corpus list    [-corpus dir]
+//	                      [-int] [-coverage] [-artifacts dir]
+//	lumina-corpus coverage [-corpus dir] [-profiles cx4,cx5,...] [-workers N]
+//	                      [-out frontier.json]
+//	lumina-corpus list    [-corpus dir] [-coverage] [-workers N]
 //
 // replay exits non-zero if any (entry, profile) cell drifts from its
 // golden, making the corpus a CI gate against behavioural regressions.
+// coverage replays the corpus with the behavioral coverage map attached
+// and reports each profile's frontier — the union of (site, transition)
+// pairs the corpus exercises — optionally serialized as frontier.json
+// for `lumina-trace coverage` diffing.
 package main
 
 import (
@@ -42,6 +48,8 @@ func main() {
 		err = cmdMinimize(os.Args[2:])
 	case "replay":
 		err = cmdReplay(os.Args[2:])
+	case "coverage":
+		err = cmdCoverage(os.Args[2:])
 	case "list":
 		err = cmdList(os.Args[2:])
 	case "-h", "-help", "--help", "help":
@@ -62,8 +70,9 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   lumina-corpus add      [-corpus dir] [-minimize] [-workers N] cfg.yaml...
   lumina-corpus minimize [-workers N] [-out file] cfg.yaml
-  lumina-corpus replay   [-corpus dir] [-profiles cx4,cx5,...] [-workers N] [-int] [-artifacts dir]
-  lumina-corpus list     [-corpus dir]`)
+  lumina-corpus replay   [-corpus dir] [-profiles cx4,cx5,...] [-workers N] [-int] [-coverage] [-artifacts dir]
+  lumina-corpus coverage [-corpus dir] [-profiles cx4,cx5,...] [-workers N] [-out frontier.json]
+  lumina-corpus list     [-corpus dir] [-coverage] [-workers N]`)
 }
 
 // parseProfiles validates a comma-separated model list against the
@@ -173,7 +182,8 @@ func cmdReplay(args []string) error {
 	profCSV := fs.String("profiles", "", "comma-separated NIC models to replay against (default: all)")
 	workers := fs.Int("workers", 0, "engine worker-pool size: 0 = one per CPU, 1 = serial (matrix is identical for every value)")
 	intFlag := fs.Bool("int", false, "replay with in-band telemetry enabled (observe-only: cells still judge against the INT-agnostic goldens)")
-	artifacts := fs.String("artifacts", "", "write each cell's summary.json (and int.json with -int) under this directory for byte-level diffing")
+	covFlag := fs.Bool("coverage", false, "replay with behavioral coverage enabled (observe-only, like -int) and report per-profile frontiers")
+	artifacts := fs.String("artifacts", "", "write each cell's summary.json (and int.json with -int, coverage.json with -coverage) under this directory for byte-level diffing")
 	fs.Parse(args)
 	profiles, err := parseProfiles(*profCSV)
 	if err != nil {
@@ -181,12 +191,15 @@ func cmdReplay(args []string) error {
 	}
 	m, err := corpus.Replay(context.Background(), *dir,
 		corpus.ReplayOptions{Profiles: profiles, Workers: *workers,
-			INT: *intFlag, ArtifactsDir: *artifacts})
+			INT: *intFlag, Coverage: *covFlag, ArtifactsDir: *artifacts})
 	if err != nil {
 		return err
 	}
 	if err := m.Render(os.Stdout); err != nil {
 		return err
+	}
+	if m.Coverage != nil {
+		renderFrontier(m)
 	}
 	if !m.OK() {
 		return fmt.Errorf("%d cell(s) drifted from golden behaviour", m.Drift())
@@ -194,19 +207,102 @@ func cmdReplay(args []string) error {
 	return nil
 }
 
+// renderFrontier prints each profile's corpus-wide coverage, profiles
+// in matrix column order.
+func renderFrontier(m *corpus.Matrix) {
+	for _, p := range m.Profiles {
+		if rep := m.Coverage[p]; rep != nil {
+			fmt.Printf("coverage [%s]: %d/%d pairs\n", p, rep.Covered, rep.Total)
+		}
+	}
+}
+
+func cmdCoverage(args []string) error {
+	fs := flag.NewFlagSet("coverage", flag.ExitOnError)
+	dir := fs.String("corpus", "corpus", "corpus directory")
+	profCSV := fs.String("profiles", "", "comma-separated NIC models (default: all)")
+	workers := fs.Int("workers", 0, "engine worker-pool size: 0 = one per CPU, 1 = serial (the frontier is identical for every value)")
+	out := fs.String("out", "", "write the per-profile frontier as JSON here (schema "+corpus.FrontierSchema+")")
+	fs.Parse(args)
+	profiles, err := parseProfiles(*profCSV)
+	if err != nil {
+		return err
+	}
+	m, err := corpus.Replay(context.Background(), *dir,
+		corpus.ReplayOptions{Profiles: profiles, Workers: *workers, Coverage: true})
+	if err != nil {
+		return err
+	}
+	for _, p := range m.Profiles {
+		rep := m.Coverage[p]
+		if rep == nil {
+			fmt.Printf("%-8s  (no runnable entries)\n", p)
+			continue
+		}
+		fmt.Printf("%-8s  %d/%d pairs covered\n", p, rep.Covered, rep.Total)
+		for _, s := range rep.Sites {
+			if len(s.Covered) == 0 {
+				continue
+			}
+			fmt.Printf("  %-16s %d/%d", s.Name, len(s.Covered), s.Transitions)
+			for _, t := range s.Covered {
+				fmt.Printf(" %s", t.Name)
+			}
+			fmt.Println()
+		}
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		err = m.Frontier().Write(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("frontier written to %s\n", *out)
+	}
+	return nil
+}
+
 func cmdList(args []string) error {
 	fs := flag.NewFlagSet("list", flag.ExitOnError)
 	dir := fs.String("corpus", "corpus", "corpus directory")
+	covFlag := fs.Bool("coverage", false, "replay each entry (native profile) with coverage and add a covered-pairs column; rows sort by coverage descending, ties by entry hash")
+	workers := fs.Int("workers", 0, "engine worker-pool size for -coverage replays")
 	fs.Parse(args)
 	entries, err := corpus.List(*dir)
 	if err != nil {
 		return err
 	}
+	byID := make(map[string]corpus.Entry, len(entries))
 	for _, e := range entries {
+		byID[e.ID] = e
+	}
+	order := entries
+	cov := map[string]corpus.EntryCoverage{}
+	if *covFlag {
+		counts, err := corpus.CoverageCounts(context.Background(), *dir, *workers)
+		if err != nil {
+			return err
+		}
+		order = order[:0:0]
+		for _, c := range counts {
+			cov[c.ID] = c
+			order = append(order, byID[c.ID])
+		}
+	}
+	for _, e := range order {
 		fmt.Printf("%s  %-24s %d event(s), %d profile(s), target=%s",
 			e.ID, e.Expected.Name, len(e.Config.Traffic.Events), len(e.Expected.Profiles), e.Expected.Target)
 		if e.Expected.Score != 0 {
 			fmt.Printf(", score=%.2f", e.Expected.Score)
+		}
+		if c, ok := cov[e.ID]; ok {
+			fmt.Printf(", coverage=%d/%d", c.Covered, c.Total)
 		}
 		fmt.Println()
 	}

@@ -11,11 +11,15 @@
 // findings.json) so a long run's results survive terminal scrollback;
 // with -corpus each finding is additionally delta-debugged to a minimal
 // reproducer and admitted into the content-addressed regression corpus
-// (duplicates by content hash are skipped).
+// (duplicates by content hash are skipped). Coverage guidance is on by
+// default (-coverage=false for a blind search): the search keeps
+// mutants that light up new behavioral (site, transition) pairs, the
+// findings file records per-finding coverage deltas and the frontier
+// reached (schema lumina-findings/2), and frontier-advancing
+// below-threshold seeds are admitted to the corpus alongside anomalies.
 package main
 
 import (
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -31,32 +35,6 @@ import (
 	"github.com/lumina-sim/lumina/internal/sim"
 )
 
-// findingRecord is one finding in the findings JSON file: everything
-// needed to reproduce the run without re-searching.
-type findingRecord struct {
-	Rank       int            `json:"rank"`
-	Score      float64        `json:"score"`
-	Genome     []int          `json:"genome"`
-	Params     map[string]int `json:"params"`
-	ConfigYAML string         `json:"config_yaml"`
-	// CorpusID is the content address the finding was admitted under,
-	// when -corpus was given.
-	CorpusID string `json:"corpus_id,omitempty"`
-}
-
-// findingsFile is the schema of the -findings output.
-type findingsFile struct {
-	Schema      string          `json:"schema"`
-	Target      string          `json:"target"`
-	Model       string          `json:"model"`
-	Seed        int64           `json:"seed"`
-	Iters       int             `json:"iters"`
-	Evaluations int             `json:"evaluations"`
-	BestScore   float64         `json:"best_score"`
-	BestGenome  []int           `json:"best_genome"`
-	Findings    []findingRecord `json:"findings"`
-}
-
 func main() {
 	targetName := flag.String("target", "noisy-neighbor", "noisy-neighbor | counter-bugs")
 	model := flag.String("model", "cx4", "NIC model under test")
@@ -67,7 +45,8 @@ func main() {
 	workers := flag.Int("workers", 0, "engine worker-pool size for evaluating a generation: 0 = one per CPU, 1 = serial (findings are identical for every value)")
 	generation := flag.Int("generation", 8, "evaluations drawn per search round (an algorithm knob, unlike -workers)")
 	findingsPath := flag.String("findings", "findings.json", "write all findings as JSON here ('' disables); long runs are not lossy on scrollback")
-	corpusDir := flag.String("corpus", "", "regression corpus directory: minimize each finding and admit it (dedup by content hash)")
+	corpusDir := flag.String("corpus", "", "regression corpus directory: minimize each finding and admit it (dedup by content hash); new-coverage seeds are admitted unminimized")
+	coverage := flag.Bool("coverage", true, "coverage-guided search: keep mutants that cover new (site, transition) pairs")
 	flag.Parse()
 
 	var target fuzz.Target
@@ -90,13 +69,18 @@ func main() {
 		Seed: *seed, PoolSize: 6, AcceptProb: 0.2,
 		Deadline: 300 * sim.Second, StopAtFirstAnomaly: *stopFirst,
 		Generation: *generation, Workers: *workers,
+		Coverage: *coverage,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("fuzzing target %q on %s (%d iterations, seed %d)\n",
-		target.Name, *model, *iters, *seed)
+	mode := "coverage-guided"
+	if !*coverage {
+		mode = "blind"
+	}
+	fmt.Printf("fuzzing target %q on %s (%d iterations, seed %d, %s)\n",
+		target.Name, *model, *iters, *seed, mode)
 	res, err := f.Run(*iters)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -104,25 +88,19 @@ func main() {
 	}
 	fmt.Printf("evaluations: %d  best score: %.2f  best genome: %v\n",
 		res.Evaluations, res.BestScore, res.BestGenome)
-
-	out := findingsFile{
-		Schema: "lumina-findings/1", Target: target.Name, Model: *model,
-		Seed: *seed, Iters: *iters, Evaluations: res.Evaluations,
-		BestScore: res.BestScore, BestGenome: res.BestGenome,
+	if *coverage {
+		for prof, n := range res.Frontier {
+			fmt.Printf("coverage frontier [%s]: %d pairs (growth per generation: %v)\n",
+				prof, n, res.FrontierGrowth)
+		}
 	}
+
+	out := fuzz.NewFindingsFile(target.Name, *model, *seed, *iters, res)
 	for i, fd := range res.Findings {
-		rec := findingRecord{Rank: i + 1, Score: fd.Score, Genome: fd.Genome,
-			Params: map[string]int{}}
-		for pi, p := range target.Params {
-			rec.Params[p.Name] = fd.Genome[pi]
-		}
-		cfg := target.Build(fd.Genome)
-		cfg.Seed = fd.Report.Config.Seed
-		cfg.Name = fmt.Sprintf("%s-finding-%d", target.Name, i+1)
-		if yml, err := cfg.MarshalYAML(); err == nil {
-			rec.ConfigYAML = string(yml)
-		}
-		out.Findings = append(out.Findings, rec)
+		out.Findings = append(out.Findings, target.Record(i+1, fd, fuzz.FindingKindAnomaly))
+	}
+	for i, fd := range res.CoverageSeeds {
+		out.CoverageSeeds = append(out.CoverageSeeds, target.Record(i+1, fd, fuzz.FindingKindCoverage))
 	}
 
 	if len(res.Findings) == 0 {
@@ -134,6 +112,9 @@ func main() {
 		fmt.Printf("  #%d score=%.2f genome=%v", i+1, fd.Score, fd.Genome)
 		for pi, p := range target.Params {
 			fmt.Printf(" %s=%d", p.Name, fd.Genome[pi])
+		}
+		if len(fd.NewPairs) > 0 {
+			fmt.Printf(" (+%d coverage pairs)", len(fd.NewPairs))
 		}
 		fmt.Println()
 		if *saveDir != "" && i < 20 {
@@ -150,24 +131,37 @@ func main() {
 			break
 		}
 	}
+	if len(res.CoverageSeeds) > 0 {
+		fmt.Printf("%d coverage seed(s) advanced the frontier without crossing the threshold\n",
+			len(res.CoverageSeeds))
+		if *corpusDir != "" {
+			for i := range res.CoverageSeeds {
+				admitSeed(*corpusDir, res.CoverageSeeds[i], &out.CoverageSeeds[i], target.Name, *workers)
+			}
+		}
+	}
 
 	if *findingsPath != "" {
-		js, err := json.MarshalIndent(&out, "", "  ")
+		w, err := os.Create(*findingsPath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		js = append(js, '\n')
-		if err := os.WriteFile(*findingsPath, js, 0o644); err != nil {
+		err = out.Write(w)
+		if cerr := w.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Printf("findings written to %s (%d finding(s))\n", *findingsPath, len(out.Findings))
+		fmt.Printf("findings written to %s (%d finding(s), %d coverage seed(s))\n",
+			*findingsPath, len(out.Findings), len(out.CoverageSeeds))
 	}
 }
 
 // saveYAML writes one finding's scenario next to the others in dir.
-func saveYAML(dir string, rec *findingRecord) error {
+func saveYAML(dir string, rec *fuzz.FindingRecord) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -182,7 +176,7 @@ func saveYAML(dir string, rec *findingRecord) error {
 
 // admit minimizes one finding and stores it in the regression corpus;
 // failures are reported but do not abort the remaining findings.
-func admit(dir string, fd fuzz.Finding, rec *findingRecord, targetName string, workers int) {
+func admit(dir string, fd fuzz.Finding, rec *fuzz.FindingRecord, targetName string, workers int) {
 	cfg := fd.Report.Config
 	mres, err := minimize.Minimize(cfg, minimize.Options{Workers: workers})
 	switch {
@@ -209,5 +203,26 @@ func admit(dir string, fd fuzz.Finding, rec *findingRecord, targetName string, w
 		fmt.Printf("     corpus: admitted %s\n", entry.ID)
 	} else {
 		fmt.Printf("     corpus: duplicate of %s (skipped)\n", entry.ID)
+	}
+}
+
+// admitSeed stores one new-coverage seed in the regression corpus.
+// Coverage seeds carry no verdict anomaly, so there is nothing for the
+// minimizer to preserve — they are admitted as-is.
+func admitSeed(dir string, fd fuzz.Finding, rec *fuzz.FindingRecord, targetName string, workers int) {
+	cfg := fd.Report.Config
+	cfg.Name = fmt.Sprintf("%s-covseed-%d", targetName, rec.Rank)
+	entry, added, err := corpus.Add(dir, cfg, corpus.Meta{
+		Name: cfg.Name, Target: targetName, Score: fd.Score,
+	}, corpus.RunOptions{Workers: workers})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "     corpus: coverage seed: %v\n", err)
+		return
+	}
+	rec.CorpusID = entry.ID
+	if added {
+		fmt.Printf("     corpus: admitted coverage seed %s (+%d pairs)\n", entry.ID, len(fd.NewPairs))
+	} else {
+		fmt.Printf("     corpus: coverage seed duplicate of %s (skipped)\n", entry.ID)
 	}
 }

@@ -24,10 +24,21 @@
 //
 // Usage:
 //
+// The coverage subcommand reads behavioral coverage artifacts — a
+// run's coverage.json (from `lumina -coverage -out`) or a corpus
+// frontier.json (from `lumina-corpus coverage -out`) — prints the
+// covered (site, transition) pairs, and with two inputs diffs them:
+// which pairs only run A exercised, which only run B. Diffing a run
+// against the corpus frontier shows exactly what new behavior the run
+// found (or what corpus behavior it misses).
+//
+// Usage:
+//
 //	lumina-trace -pcap results/trace.pcap [-n 50] [-analyze]
 //	lumina-trace timeline -pcap results/trace.pcap -out timeline.json
 //	lumina-trace explain -run results -qp 0x1a2b3c -psn 5
 //	lumina-trace hops -run results [-lineage 3]
+//	lumina-trace coverage -a results-a [-b results-b|frontier.json]
 package main
 
 import (
@@ -39,6 +50,8 @@ import (
 	"strconv"
 
 	"github.com/lumina-sim/lumina/internal/analyzer"
+	"github.com/lumina-sim/lumina/internal/corpus"
+	"github.com/lumina-sim/lumina/internal/coverage"
 	"github.com/lumina-sim/lumina/internal/dumper"
 	"github.com/lumina-sim/lumina/internal/lineage"
 	"github.com/lumina-sim/lumina/internal/orchestrator"
@@ -57,6 +70,9 @@ func main() {
 			return
 		case "hops":
 			hopsCmd(os.Args[2:])
+			return
+		case "coverage":
+			coverageCmd(os.Args[2:])
 			return
 		}
 	}
@@ -395,6 +411,79 @@ func hopsCmd(argv []string) {
 		}
 		fmt.Println("\nno causal chains in this run (no injected events, or run made without -int/lineage)")
 	}
+}
+
+// coverageCmd prints one behavioral coverage report, or diffs two.
+// Each input is an artifact directory (coverage.json inside), a
+// coverage.json, or a corpus frontier.json (whose per-profile reports
+// are unioned before diffing).
+func coverageCmd(argv []string) {
+	fs := flag.NewFlagSet("coverage", flag.ExitOnError)
+	aPath := fs.String("a", "", "run dir, coverage.json, or frontier.json")
+	bPath := fs.String("b", "", "second input to diff against (optional)")
+	fs.Parse(argv)
+	if *aPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: lumina-trace coverage -a (dir|coverage.json|frontier.json) [-b ...]")
+		os.Exit(2)
+	}
+
+	a := loadCoverage(*aPath)
+	if *bPath == "" {
+		fmt.Printf("%s: %d/%d pairs covered\n", *aPath, a.Covered, a.Total)
+		for _, s := range a.Sites {
+			if len(s.Covered) == 0 {
+				continue
+			}
+			fmt.Printf("  %-16s %d/%d:", s.Name, len(s.Covered), s.Transitions)
+			for _, t := range s.Covered {
+				fmt.Printf(" %s(%d)", t.Name, t.Count)
+			}
+			fmt.Println()
+		}
+		return
+	}
+
+	b := loadCoverage(*bPath)
+	d := coverage.DiffReports(a, b)
+	fmt.Printf("A %s: %d/%d pairs\n", *aPath, d.CoveredA, a.Total)
+	fmt.Printf("B %s: %d/%d pairs\n", *bPath, d.CoveredB, b.Total)
+	if len(d.OnlyA) == 0 && len(d.OnlyB) == 0 {
+		fmt.Println("identical coverage")
+		return
+	}
+	for _, k := range d.OnlyA {
+		fmt.Printf("  only A: %s\n", k)
+	}
+	for _, k := range d.OnlyB {
+		fmt.Printf("  only B: %s\n", k)
+	}
+}
+
+// loadCoverage resolves one coverage input: directories read their
+// coverage.json; files parse as a coverage report first, then as a
+// corpus frontier (unioned across profiles).
+func loadCoverage(path string) *coverage.Report {
+	p := path
+	if st, err := os.Stat(p); err == nil && st.IsDir() {
+		p = filepath.Join(p, "coverage.json")
+	}
+	data, err := os.ReadFile(p)
+	if err != nil {
+		fatal(err)
+	}
+	if rep, err := coverage.ReadReport(data); err == nil {
+		return rep
+	}
+	fr, err := corpus.ReadFrontier(data)
+	if err != nil {
+		fatal(fmt.Errorf("%s: neither a coverage report (%s) nor a frontier (%s)",
+			p, coverage.Schema, corpus.FrontierSchema))
+	}
+	rep := fr.Merged()
+	if rep == nil {
+		fatal(fmt.Errorf("%s: frontier holds no profiles", p))
+	}
+	return rep
 }
 
 func connMatches(it *lineage.ChainItem, qpn uint32) bool {

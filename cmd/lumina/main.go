@@ -1,13 +1,13 @@
 // Command lumina runs one Lumina test from a yamlite configuration file
 // (the paper's Listings 1–2 schema), prints a summary with analyzer
 // verdicts, and optionally writes the collected artifacts (report.json,
-// trace.pcap, metrics.json, timeline.json, summary.json, and with -int
-// also int.json) to a directory.
+// trace.pcap, metrics.json, timeline.json, summary.json, with -int also
+// int.json, and with -coverage also coverage.json) to a directory.
 //
 // Usage:
 //
 //	lumina -config test.yaml [-out results/] [-analyze] [-deadline 600]
-//	       [-timeline t.json] [-metrics m.json] [-int]
+//	       [-timeline t.json] [-metrics m.json] [-int] [-coverage]
 package main
 
 import (
@@ -28,6 +28,7 @@ func main() {
 	timeline := flag.String("timeline", "", "write a Perfetto-compatible timeline (Chrome trace-event JSON) to this file")
 	metrics := flag.String("metrics", "", "write the telemetry metrics snapshot (JSON) to this file")
 	intFlag := flag.Bool("int", false, "enable in-band telemetry: per-hop INT stamping, joined to lineage chains (int.json with -out)")
+	covFlag := flag.Bool("coverage", false, "record behavioral coverage: FSM/match-action (site, transition) pairs (coverage.json with -out)")
 	flag.Parse()
 
 	if *cfgPath == "" {
@@ -46,6 +47,7 @@ func main() {
 		Telemetry: *timeline != "" || *metrics != "" || *outDir != "",
 		Lineage:   true,
 		INT:       *intFlag,
+		Coverage:  *covFlag,
 	})
 	if err != nil {
 		fatal(err)
@@ -150,6 +152,24 @@ func main() {
 		}
 		if *outDir != "" && len(rep.INT.Chains) > 0 {
 			fmt.Printf("per-hop breakdowns: lumina-trace hops -run %s [-lineage <id>]\n", *outDir)
+		}
+	}
+
+	if rep.Coverage != nil {
+		fmt.Println("\n--- behavioral coverage ---")
+		fmt.Printf("%d/%d (site, transition) pair(s) covered\n", rep.Coverage.Covered, rep.Coverage.Total)
+		for _, s := range rep.Coverage.Sites {
+			if len(s.Covered) == 0 {
+				continue
+			}
+			fmt.Printf("  %-16s %d/%d:", s.Name, len(s.Covered), s.Transitions)
+			for _, t := range s.Covered {
+				fmt.Printf(" %s", t.Name)
+			}
+			fmt.Println()
+		}
+		if *outDir != "" {
+			fmt.Printf("diff against another run: lumina-trace coverage -a %s -b <other>\n", *outDir)
 		}
 	}
 

@@ -1,0 +1,140 @@
+package corpus
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/lumina-sim/lumina/internal/coverage"
+)
+
+func TestCorpusReplayCoverageFrontier(t *testing.T) {
+	dir := t.TempDir()
+	addBoth(t, dir)
+
+	frontier := func(workers int) (*Matrix, []byte) {
+		m, err := Replay(context.Background(), dir,
+			ReplayOptions{Profiles: testProfiles, Workers: workers, Coverage: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := m.Frontier().Write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return m, buf.Bytes()
+	}
+	m, serial := frontier(1)
+
+	// Coverage is observe-only: the replay still judges every cell
+	// against its coverage-agnostic golden.
+	if !m.OK() {
+		var buf bytes.Buffer
+		m.Render(&buf)
+		t.Fatalf("coverage-enabled replay drifted on a pristine corpus:\n%s", buf.String())
+	}
+	for _, p := range testProfiles {
+		rep := m.Coverage[p]
+		if rep == nil || rep.Covered == 0 {
+			t.Fatalf("profile %s has no merged coverage: %+v", p, rep)
+		}
+	}
+
+	// frontier.json round-trips through its schema check.
+	fr, err := ReadFrontier(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Schema != FrontierSchema || len(fr.Profiles) != len(testProfiles) {
+		t.Fatalf("frontier round-trip: %+v", fr)
+	}
+	merged := fr.Merged()
+	for _, p := range testProfiles {
+		if merged.Covered < fr.Profiles[p].Covered {
+			t.Fatalf("merged frontier (%d) smaller than profile %s (%d)",
+				merged.Covered, p, fr.Profiles[p].Covered)
+		}
+	}
+
+	// The frontier must be byte-identical at any worker count.
+	for _, workers := range []int{8, 0} {
+		if _, got := frontier(workers); !bytes.Equal(got, serial) {
+			t.Errorf("workers=%d frontier.json diverged from serial", workers)
+		}
+	}
+
+	// Without the option, replay stays coverage-free.
+	plain, err := Replay(context.Background(), dir, ReplayOptions{Profiles: testProfiles})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Coverage != nil || plain.Frontier() != nil {
+		t.Fatal("replay without Coverage produced a frontier")
+	}
+}
+
+func TestCorpusReplayCoverageArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	addBoth(t, dir)
+	artDir := t.TempDir()
+	m, err := Replay(context.Background(), dir, ReplayOptions{
+		Profiles: testProfiles, Coverage: true, ArtifactsDir: artDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.OK() {
+		t.Fatal("replay drifted")
+	}
+	entries, err := List(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		for _, p := range testProfiles {
+			raw, err := os.ReadFile(filepath.Join(artDir, e.ID, p, "coverage.json"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := coverage.ReadReport(raw)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", e.ID, p, err)
+			}
+			if rep.Covered == 0 {
+				t.Fatalf("%s/%s: empty coverage artifact", e.ID, p)
+			}
+		}
+	}
+}
+
+func TestReadFrontierRejectsUnknownSchema(t *testing.T) {
+	_, err := ReadFrontier([]byte(`{"schema": "lumina-coverage-frontier/9", "profiles": {}}`))
+	if err == nil || !strings.Contains(err.Error(), "unknown schema") {
+		t.Fatalf("err = %v, want unknown-schema rejection", err)
+	}
+}
+
+func TestCorpusCoverageCounts(t *testing.T) {
+	dir := t.TempDir()
+	addBoth(t, dir)
+	counts, err := CoverageCounts(context.Background(), dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(counts) != 2 {
+		t.Fatalf("counts for %d entries, want 2", len(counts))
+	}
+	for i, c := range counts {
+		if c.Covered == 0 || c.Total != coverage.Total() {
+			t.Fatalf("entry %s: covered %d/%d", c.ID, c.Covered, c.Total)
+		}
+		if i > 0 {
+			prev := counts[i-1]
+			if c.Covered > prev.Covered || (c.Covered == prev.Covered && c.ID < prev.ID) {
+				t.Fatalf("ordering violated at %d: %+v after %+v", i, c, prev)
+			}
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"github.com/lumina-sim/lumina/internal/config"
+	"github.com/lumina-sim/lumina/internal/coverage"
 	"github.com/lumina-sim/lumina/internal/engine"
 	"github.com/lumina-sim/lumina/internal/orchestrator"
 	"github.com/lumina-sim/lumina/internal/sim"
@@ -72,6 +73,13 @@ type Row struct {
 type Matrix struct {
 	Profiles []string `json:"profiles"`
 	Rows     []Row    `json:"rows"`
+
+	// Coverage maps NIC profile → the behavioral coverage merged across
+	// every replayed entry (the corpus frontier for that profile); nil
+	// unless ReplayOptions.Coverage was set. Merging sums pair counts,
+	// which is order-independent, so the frontier is byte-identical at
+	// any worker count.
+	Coverage map[string]*coverage.Report `json:"coverage,omitempty"`
 }
 
 // OK reports whether every cell passed.
@@ -152,10 +160,18 @@ type ReplayOptions struct {
 	// goldens — an INT-enabled replay that drifts has caught the INT
 	// machinery perturbing the simulation.
 	INT bool
+	// Coverage enables behavioral coverage on every replayed cell and
+	// aggregates the per-profile frontier into Matrix.Coverage. Like
+	// INT it is observe-only: cells still judge against the
+	// coverage-agnostic goldens, so a coverage-enabled replay that
+	// drifts has caught the coverage machinery perturbing the
+	// simulation.
+	Coverage bool
 	// ArtifactsDir, when non-empty, writes each runnable cell's
-	// summary.json (and, with INT, int.json) under
-	// ArtifactsDir/<entry>/<profile>/ — the raw material for diffing two
-	// replays (e.g. different worker counts) byte-for-byte in CI.
+	// summary.json (and, with INT, int.json; with Coverage,
+	// coverage.json) under ArtifactsDir/<entry>/<profile>/ — the raw
+	// material for diffing two replays (e.g. different worker counts)
+	// byte-for-byte in CI.
 	ArtifactsDir string
 }
 
@@ -223,7 +239,7 @@ func Replay(ctx context.Context, dir string, opts ReplayOptions) (*Matrix, error
 			jobs = append(jobs, engine.Job{
 				Label: fmt.Sprintf("%s@%s", e.ID, p),
 				Cfg:   withProfile(e.Config, p),
-				Opts:  orchestrator.Options{Deadline: deadline, Lineage: true, INT: opts.INT},
+				Opts:  orchestrator.Options{Deadline: deadline, Lineage: true, INT: opts.INT, Coverage: opts.Coverage},
 			})
 			refs = append(refs, cellRef{i, j})
 		}
@@ -232,6 +248,9 @@ func Replay(ctx context.Context, dir string, opts ReplayOptions) (*Matrix, error
 
 	// Assemble rows in ID order, consuming results by submission index.
 	cells := make(map[cellRef]Cell)
+	if opts.Coverage {
+		m.Coverage = map[string]*coverage.Report{}
+	}
 	for k := range results {
 		ref := refs[k]
 		c := judge(states[ref.row].entry, opts.Profiles[ref.col], &results[k])
@@ -239,6 +258,10 @@ func Replay(ctx context.Context, dir string, opts ReplayOptions) (*Matrix, error
 			if err := dumpCellArtifacts(opts.ArtifactsDir, &results[k]); err != nil && c.Status == Pass {
 				c.Status, c.Detail = Error, err.Error()
 			}
+		}
+		if m.Coverage != nil && results[k].Err == nil && results[k].Report != nil {
+			p := opts.Profiles[ref.col]
+			m.Coverage[p] = coverage.MergeReports(m.Coverage[p], results[k].Report.Coverage)
 		}
 		cells[ref] = c
 	}
@@ -271,8 +294,9 @@ func entryDir(dir, id string) string { return filepath.Join(dir, id) }
 
 // dumpCellArtifacts writes one replayed cell's diffable artifacts under
 // dir/<entry>/<profile>/: summary.json always, int.json when the replay
-// ran with INT. Both files are byte-deterministic, so two dump trees
-// from different worker counts must be identical — CI diffs them.
+// ran with INT, coverage.json when it ran with coverage. All files are
+// byte-deterministic, so two dump trees from different worker counts
+// must be identical — CI diffs them.
 func dumpCellArtifacts(dir string, res *engine.JobResult) error {
 	entry, profile, ok := strings.Cut(res.Label, "@")
 	if !ok || res.Report == nil {
@@ -298,6 +322,11 @@ func dumpCellArtifacts(dir string, res *engine.JobResult) error {
 	}
 	if res.Report.INT != nil {
 		if err := write("int.json", res.Report.WriteINT); err != nil {
+			return err
+		}
+	}
+	if res.Report.Coverage != nil {
+		if err := write("coverage.json", res.Report.WriteCoverage); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,105 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"github.com/lumina-sim/lumina/internal/config"
+	"github.com/lumina-sim/lumina/internal/orchestrator"
+)
+
+func coverageTestConfigs() []config.Test {
+	mk := func(seed int64) config.Test {
+		c := config.Default()
+		c.Seed = seed
+		c.Traffic.NumConnections = 2
+		c.Traffic.NumMsgsPerQP = 5
+		c.Traffic.MessageSize = 10240
+		c.Traffic.Events = []config.Event{
+			{QPN: 1, PSN: 4, Type: "ecn", Iter: 1},
+			{QPN: 2, PSN: 5, Type: "drop", Iter: 1},
+		}
+		return c
+	}
+	return []config.Test{mk(1), mk(99)}
+}
+
+// coverage.json must be byte-identical at any engine worker count — the
+// determinism contract CI diffs enforce for coverage-enabled corpus
+// replays. summary.json is checked alongside so a coverage-perturbed
+// run cannot hide behind a coverage-only comparison.
+func TestCoverageByteIdenticalAcrossWorkerCounts(t *testing.T) {
+	cfgs := coverageTestConfigs()
+	opts := orchestrator.DefaultOptions()
+	opts.Telemetry = true
+	opts.Lineage = true
+	opts.Coverage = true
+
+	artifacts := func(workers int) [][]byte {
+		reps, err := RunConfigs(context.Background(), cfgs, opts, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out [][]byte
+		for _, rep := range reps {
+			if rep.Coverage == nil {
+				t.Fatal("coverage-enabled engine run produced no coverage report")
+			}
+			if rep.Coverage.Covered == 0 {
+				t.Fatal("run with injected events covered zero pairs")
+			}
+			var covBuf, sumBuf bytes.Buffer
+			if err := rep.WriteCoverage(&covBuf); err != nil {
+				t.Fatal(err)
+			}
+			if err := rep.WriteSummary(&sumBuf); err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, covBuf.Bytes(), sumBuf.Bytes())
+		}
+		return out
+	}
+	serial, parallel := artifacts(1), artifacts(8)
+	if len(serial) != len(parallel) {
+		t.Fatal("worker counts returned different run counts")
+	}
+	for i := range serial {
+		if !bytes.Equal(serial[i], parallel[i]) {
+			t.Fatalf("artifact %d differs between workers=1 and workers=8", i)
+		}
+	}
+}
+
+// Coverage must be independent of INT: the stamping path touches no
+// instrumented branch, so the same run with and without INT records the
+// same (site, transition) counts.
+func TestCoverageByteIdenticalWithINTOnOff(t *testing.T) {
+	cfgs := coverageTestConfigs()
+	run := func(withINT bool) [][]byte {
+		opts := orchestrator.DefaultOptions()
+		opts.Telemetry = true
+		opts.Lineage = true
+		opts.Coverage = true
+		opts.INT = withINT
+		reps, err := RunConfigs(context.Background(), cfgs, opts, Options{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out [][]byte
+		for _, rep := range reps {
+			var buf bytes.Buffer
+			if err := rep.WriteCoverage(&buf); err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, buf.Bytes())
+		}
+		return out
+	}
+	plain, withINT := run(false), run(true)
+	for i := range plain {
+		if !bytes.Equal(plain[i], withINT[i]) {
+			t.Fatalf("coverage.json %d differs with INT on vs off", i)
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"github.com/lumina-sim/lumina/internal/config"
+	"github.com/lumina-sim/lumina/internal/coverage"
 	"github.com/lumina-sim/lumina/internal/engine"
 	"github.com/lumina-sim/lumina/internal/orchestrator"
 	"github.com/lumina-sim/lumina/internal/sim"
@@ -71,6 +72,21 @@ type Options struct {
 	// search randomness is drawn before a generation fans out, the
 	// result is byte-identical for every worker count.
 	Workers int
+	// Coverage makes the search coverage-guided: every evaluation runs
+	// with the behavioral coverage map attached, and a mutant that
+	// lights up (site, transition) pairs new to its NIC profile's
+	// frontier is admitted to the pool even when its score falls below
+	// the median — novelty keeps a lineage alive the score alone would
+	// discard. New-coverage mutants below the anomaly threshold are
+	// reported as Result.CoverageSeeds. Frontier bookkeeping happens in
+	// submission order during the merge phase and consumes no search
+	// RNG, so guided searches stay byte-identical across worker counts.
+	Coverage bool
+	// CoverageObserve collects the same coverage and frontier
+	// bookkeeping as Coverage but never lets novelty influence pool
+	// admission — the blind-search baseline with measurement attached,
+	// for quantifying what guidance buys.
+	CoverageObserve bool
 }
 
 // DefaultOptions mirror the paper's usage: small pool, mild diversity.
@@ -78,11 +94,16 @@ func DefaultOptions() Options {
 	return Options{Seed: 1, PoolSize: 6, AcceptProb: 0.2, Deadline: 120 * sim.Second, Generation: 8}
 }
 
-// Finding is one anomalous configuration.
+// Finding is one anomalous (or, in Result.CoverageSeeds, one
+// frontier-advancing) configuration.
 type Finding struct {
 	Genome Genome
 	Score  float64
 	Report *orchestrator.Report
+	// NewPairs are the (site, transition) coverage keys this evaluation
+	// added to its NIC profile's frontier, in canonical registry order;
+	// empty unless coverage collection was on.
+	NewPairs []string
 }
 
 // Result summarizes a search.
@@ -91,6 +112,19 @@ type Result struct {
 	Evaluations int
 	BestScore   float64
 	BestGenome  Genome
+
+	// CoverageSeeds are below-threshold configurations that advanced the
+	// coverage frontier, in discovery order; nil unless coverage
+	// collection was on.
+	CoverageSeeds []Finding
+	// Frontier maps NIC profile name → covered (site, transition) pairs
+	// accumulated across the whole search; nil unless coverage
+	// collection was on.
+	Frontier map[string]int
+	// FrontierGrowth records, per merged generation (pool
+	// initialization first), how many pairs that generation added
+	// across all profiles; nil unless coverage collection was on.
+	FrontierGrowth []int
 }
 
 type member struct {
@@ -105,7 +139,14 @@ type Fuzzer struct {
 	rng    *sim.RNG
 	pool   []member
 	res    Result
+
+	// frontier accumulates covered (site, transition) pairs per NIC
+	// profile; nil unless coverage collection is on.
+	frontier map[string]*coverage.Set
 }
+
+// collecting reports whether evaluations run with coverage attached.
+func (f *Fuzzer) collecting() bool { return f.opts.Coverage || f.opts.CoverageObserve }
 
 // New validates the target and prepares a fuzzer.
 func New(target Target, opts Options) (*Fuzzer, error) {
@@ -132,7 +173,12 @@ func New(target Target, opts Options) (*Fuzzer, error) {
 	if opts.Workers < 0 {
 		opts.Workers = 0
 	}
-	return &Fuzzer{target: target, opts: opts, rng: sim.NewRNG(opts.Seed)}, nil
+	f := &Fuzzer{target: target, opts: opts, rng: sim.NewRNG(opts.Seed)}
+	if f.collecting() {
+		f.frontier = map[string]*coverage.Set{}
+		f.res.Frontier = map[string]int{}
+	}
+	return f, nil
 }
 
 // randomGenome samples uniformly within bounds.
@@ -189,7 +235,7 @@ func (f *Fuzzer) evaluateAll(gs []Genome) []engine.JobResult {
 		jobs[i] = engine.Job{
 			Label: fmt.Sprintf("%s %v", f.target.Name, g),
 			Cfg:   cfg,
-			Opts:  orchestrator.Options{Deadline: f.opts.Deadline},
+			Opts:  orchestrator.Options{Deadline: f.opts.Deadline, Coverage: f.collecting()},
 		}
 	}
 	return engine.Run(context.Background(), jobs, engine.Options{Workers: f.opts.Workers})
@@ -211,14 +257,36 @@ func (f *Fuzzer) medianScore() float64 {
 	return (scores[n/2-1] + scores[n/2]) / 2
 }
 
-func (f *Fuzzer) record(g Genome, score float64, rep *orchestrator.Report) {
+func (f *Fuzzer) record(g Genome, score float64, rep *orchestrator.Report, fresh []string) {
 	if score > f.res.BestScore || f.res.BestGenome == nil {
 		f.res.BestScore = score
 		f.res.BestGenome = g.Clone()
 	}
 	if score >= f.target.Threshold {
-		f.res.Findings = append(f.res.Findings, Finding{Genome: g.Clone(), Score: score, Report: rep})
+		f.res.Findings = append(f.res.Findings, Finding{Genome: g.Clone(), Score: score, Report: rep, NewPairs: fresh})
+	} else if len(fresh) > 0 {
+		f.res.CoverageSeeds = append(f.res.CoverageSeeds, Finding{Genome: g.Clone(), Score: score, Report: rep, NewPairs: fresh})
 	}
+}
+
+// advanceFrontier merges one evaluation's coverage into its NIC
+// profile's frontier and returns the freshly covered pair keys in
+// canonical registry order. The profile key is the requester NIC model:
+// targets drive both endpoints with the model under test, and a pair
+// that is new for one model may be long-covered for another.
+func (f *Fuzzer) advanceFrontier(rep *orchestrator.Report) []string {
+	if rep.Coverage == nil {
+		return nil
+	}
+	prof := rep.Config.Requester.NIC.Type
+	set := f.frontier[prof]
+	if set == nil {
+		set = coverage.NewSet()
+		f.frontier[prof] = set
+	}
+	fresh := set.AddReport(rep.Coverage)
+	f.res.Frontier[prof] = set.Size()
+	return fresh
 }
 
 // candidate is one drawn-but-not-yet-merged genome. The accept coin is
@@ -236,7 +304,17 @@ type candidate struct {
 // (pool initialization). It reports whether the search should stop;
 // results past the stopping point are discarded unseen and uncounted,
 // exactly as a serial loop would never have evaluated them.
-func (f *Fuzzer) mergeGeneration(cands []candidate, results []engine.JobResult, init bool) (bool, error) {
+func (f *Fuzzer) mergeGeneration(cands []candidate, results []engine.JobResult, init bool) (stop bool, err error) {
+	grew := 0
+	if f.collecting() {
+		// One growth entry per merged generation, even when the merge
+		// stops early — the entry then counts only the consumed results.
+		defer func() {
+			if err == nil {
+				f.res.FrontierGrowth = append(f.res.FrontierGrowth, grew)
+			}
+		}()
+	}
 	for i, c := range cands {
 		r := &results[i]
 		if r.Err != nil {
@@ -244,10 +322,15 @@ func (f *Fuzzer) mergeGeneration(cands []candidate, results []engine.JobResult, 
 		}
 		score := f.target.Score(c.genome, r.Report)
 		f.res.Evaluations++
-		if init || score >= f.medianScore() || c.coin < f.opts.AcceptProb {
+		fresh := f.advanceFrontier(r.Report)
+		grew += len(fresh)
+		// Coverage guidance: frontier-advancing mutants join the pool
+		// regardless of score (observe mode measures but never admits).
+		if init || score >= f.medianScore() || c.coin < f.opts.AcceptProb ||
+			(f.opts.Coverage && len(fresh) > 0) {
 			f.pool = append(f.pool, member{c.genome, score})
 		}
-		f.record(c.genome, score, r.Report)
+		f.record(c.genome, score, r.Report, fresh)
 		if f.opts.StopAtFirstAnomaly && len(f.res.Findings) > 0 {
 			return true, nil
 		}

@@ -15,6 +15,7 @@ import (
 	"net/netip"
 
 	"github.com/lumina-sim/lumina/internal/config"
+	"github.com/lumina-sim/lumina/internal/coverage"
 	"github.com/lumina-sim/lumina/internal/inband"
 	"github.com/lumina-sim/lumina/internal/packet"
 	"github.com/lumina-sim/lumina/internal/sim"
@@ -271,6 +272,7 @@ func (sw *Switch) ingress(portIdx int, wire []byte) {
 		iter := sw.trackITER(&pkt)
 		if sw.Cfg.Inject {
 			if rule = sw.lookupRule(&pkt, iter); rule != nil {
+				sw.Sim.Coverage().Record(coverage.SiteInjectLookup, coverage.LookupHit)
 				ev = rule.Action
 				if h := sw.Sim.Hub(); h.Active() {
 					// lineage = the mirror sequence number the imminent
@@ -285,6 +287,8 @@ func (sw *Switch) ingress(portIdx int, wire []byte) {
 						telemetry.I("lineage", int64(sw.mirrorSeq+1)))
 					h.Count("inject.hits", 1)
 				}
+			} else {
+				sw.Sim.Coverage().Record(coverage.SiteInjectLookup, coverage.LookupMiss)
 			}
 		}
 	}
@@ -293,12 +297,15 @@ func (sw *Switch) ingress(portIdx int, wire []byte) {
 	out := wire
 	switch ev {
 	case packet.EventECN:
+		sw.Sim.Coverage().Record(coverage.SiteInjectAction, coverage.ActionECN)
 		out = append([]byte(nil), wire...)
 		packet.SetECNCE(out)
 	case packet.EventCorrupt:
+		sw.Sim.Coverage().Record(coverage.SiteInjectAction, coverage.ActionCorrupt)
 		out = append([]byte(nil), wire...)
 		packet.CorruptPayload(out)
 	case packet.EventSetMigReq:
+		sw.Sim.Coverage().Record(coverage.SiteInjectAction, coverage.ActionMigReq)
 		out = sw.rewriteMigReq(&pkt)
 	}
 	if ev != packet.EventNone {
@@ -315,6 +322,7 @@ func (sw *Switch) ingress(portIdx int, wire []byte) {
 	key := connKey{pkt.IP.Src, pkt.IP.Dst, pkt.BTH.DestQP}
 	switch ev {
 	case packet.EventDrop:
+		sw.Sim.Coverage().Record(coverage.SiteInjectAction, coverage.ActionDrop)
 		pc.Dropped++
 		sw.total.Dropped++
 		sw.Sim.Hub().Count("inject.drops", 1)
@@ -322,6 +330,7 @@ func (sw *Switch) ingress(portIdx int, wire []byte) {
 	case packet.EventDelay:
 		// Quantitative delay (§7 future work): forward after the rule's
 		// extra latency on top of the pipeline.
+		sw.Sim.Coverage().Record(coverage.SiteInjectAction, coverage.ActionDelay)
 		d := sw.dataPlaneLatency(true) + rule.Delay
 		dst := pkt.Eth.Dst
 		sw.Sim.After(d, func() { sw.forwardNow(out, dst, true) })
@@ -330,6 +339,7 @@ func (sw *Switch) ingress(portIdx int, wire []byte) {
 		// Packet reordering (§7 future work): park the packet until
 		// ReorderOffset later data packets of its connection overtake it
 		// (bounded by reorderMaxHold in case the stream ends).
+		sw.Sim.Coverage().Record(coverage.SiteInjectAction, coverage.ActionReorderHold)
 		off := rule.ReorderOffset
 		if off <= 0 {
 			off = 1
@@ -356,6 +366,7 @@ func (sw *Switch) overtake(key connKey) {
 	}
 	for _, h := range holds {
 		h.remaining--
+		sw.Sim.Coverage().Record(coverage.SiteInjectAction, coverage.ActionOvertake)
 		if h.remaining <= 0 {
 			sw.release(key, h)
 		}
@@ -368,6 +379,7 @@ func (sw *Switch) release(key connKey, h *heldPkt) {
 		return
 	}
 	h.released = true
+	sw.Sim.Coverage().Record(coverage.SiteInjectAction, coverage.ActionRelease)
 	holds := sw.held[key][:0]
 	for _, x := range sw.held[key] {
 		if x != h {
@@ -390,12 +402,16 @@ func (sw *Switch) trackITER(pkt *packet.Packet) uint32 {
 	if !ok {
 		// Unknown connection (no metadata shared): adopt it with the
 		// current packet starting round 1.
+		sw.Sim.Coverage().Record(coverage.SiteInjectIter, coverage.IterAdopt)
 		st = &connState{lastPSN: pkt.BTH.PSN, iter: 1}
 		sw.conns[key] = st
 		return st.iter
 	}
 	if !psnGreater(pkt.BTH.PSN, st.lastPSN) {
+		sw.Sim.Coverage().Record(coverage.SiteInjectIter, coverage.IterNewRound)
 		st.iter++
+	} else {
+		sw.Sim.Coverage().Record(coverage.SiteInjectIter, coverage.IterTracked)
 	}
 	st.lastPSN = pkt.BTH.PSN
 	return st.iter
@@ -512,13 +528,16 @@ func (sw *Switch) mirror(wire []byte, ev packet.EventType, ingress int) {
 	// destination port (restored to 4791 by the dumper before writing to
 	// disk).
 	if !sw.NoRSSRewrite {
+		sw.Sim.Coverage().Record(coverage.SiteInjectMirror, coverage.MirrorRSSRewrite)
 		packet.RewriteUDPDstPort(dup, uint16(0xC000+sw.rng.Intn(0x3000)))
 	}
 	var port *sim.Port
 	var pick int
 	if sw.ByIngressMirror {
+		sw.Sim.Coverage().Record(coverage.SiteInjectMirror, coverage.MirrorByIngress)
 		pick = ingress % len(sw.dumperPorts)
 	} else {
+		sw.Sim.Coverage().Record(coverage.SiteInjectMirror, coverage.MirrorSpray)
 		pick = sw.nextDumper()
 	}
 	port = sw.dumperPorts[pick]

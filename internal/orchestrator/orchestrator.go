@@ -18,6 +18,7 @@ import (
 
 	"github.com/lumina-sim/lumina/internal/analyzer"
 	"github.com/lumina-sim/lumina/internal/config"
+	"github.com/lumina-sim/lumina/internal/coverage"
 	"github.com/lumina-sim/lumina/internal/dumper"
 	"github.com/lumina-sim/lumina/internal/inband"
 	"github.com/lumina-sim/lumina/internal/injector"
@@ -61,6 +62,17 @@ type Options struct {
 	// with it on or off. Per-hop breakdowns require Lineage (the join
 	// keys on its chains); stamp collection alone does not.
 	INT bool
+
+	// Coverage attaches the behavioral coverage map: transport-FSM,
+	// DCQCN, ETS-arbiter and injector match-action branches record which
+	// (site, transition) pairs the run exercised, collected into
+	// Report.Coverage (serialized to coverage.json by WriteArtifacts).
+	// Coverage is observe-only like Telemetry: recording increments a
+	// preallocated counter and never schedules events or reads RNG, so
+	// trace, verdicts, and summary.json are byte-identical with it on or
+	// off, and coverage.json itself is byte-identical at any engine
+	// worker count and with INT on or off.
+	Coverage bool
 }
 
 // DefaultOptions allows generous virtual time for timeout-heavy tests.
@@ -120,6 +132,13 @@ type Report struct {
 	// report.json and summary.json so INT-enabled runs replay against
 	// INT-agnostic corpus goldens.
 	INT *INTReport `json:"-"`
+
+	// Coverage is the behavioral coverage snapshot ((site, transition)
+	// pair counts); nil unless Options.Coverage was set. Serialized to
+	// coverage.json by WriteArtifacts and kept out of report.json and
+	// summary.json so coverage-enabled runs replay against
+	// coverage-agnostic corpus goldens.
+	Coverage *coverage.Report `json:"-"`
 }
 
 // Testbed is the assembled simulation, exposed so tests and experiment
@@ -155,6 +174,9 @@ func Build(cfg config.Test, opts Options) (*Testbed, error) {
 	if opts.Telemetry {
 		s.AttachHub(telemetry.NewHub())
 		s.Hub().Emit(telemetry.KindRunPhase, "orchestrator", "setup")
+	}
+	if opts.Coverage {
+		s.AttachCoverage(coverage.NewMap())
 	}
 
 	reqNIC, err := buildNIC(s, cfg.Requester, "requester", packet.MAC{2, 0, 0, 0, 0, 1})
@@ -339,6 +361,9 @@ func (tb *Testbed) Execute() (*Report, error) {
 	if tb.INT != nil {
 		rep.INT = tb.buildINTReport(rep, hub)
 	}
+	if cov := tb.Sim.Coverage(); cov != nil {
+		rep.Coverage = tb.buildCoverageReport(cov, hub)
+	}
 	if hub.Active() {
 		// Per-port fabric gauges (queue high-water mark, link
 		// utilization): published whenever telemetry is on, INT or not,
@@ -372,7 +397,8 @@ func Run(cfg config.Test, opts Options) (*Report, error) {
 
 // WriteArtifacts stores the collected results in dir: report.json,
 // trace.pcap, plus — when the corresponding option was on —
-// metrics.json, timeline.json, summary.json, and int.json.
+// metrics.json, timeline.json, summary.json, int.json, and
+// coverage.json.
 func (r *Report) WriteArtifacts(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
@@ -431,6 +457,16 @@ func (r *Report) WriteArtifacts(dir string) error {
 		}
 		defer f.Close()
 		if err := r.WriteINT(f); err != nil {
+			return err
+		}
+	}
+	if r.Coverage != nil {
+		f, err := os.Create(filepath.Join(dir, "coverage.json"))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := r.WriteCoverage(f); err != nil {
 			return err
 		}
 	}

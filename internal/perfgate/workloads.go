@@ -4,6 +4,7 @@ import (
 	"net/netip"
 
 	"github.com/lumina-sim/lumina/internal/config"
+	"github.com/lumina-sim/lumina/internal/coverage"
 	"github.com/lumina-sim/lumina/internal/inband"
 	"github.com/lumina-sim/lumina/internal/orchestrator"
 	"github.com/lumina-sim/lumina/internal/packet"
@@ -25,6 +26,7 @@ var workloads = map[string]workloadFn{
 	"packet_icrc":        packetICRC,
 	"sim_events":         simEvents,
 	"int_stamp":          intStamp,
+	"coverage_record":    coverageRecord,
 	"end_to_end_run":     endToEndRun,
 }
 
@@ -117,6 +119,22 @@ func intStamp() (int, func()) {
 			panic("perfgate: int_stamp decode failed")
 		}
 		c.Reset()
+	}
+}
+
+// coverageRecord is the behavioral-coverage hot path: every
+// instrumented FSM transition and match-action branch pays one Record
+// call, and components without an attached map pay the nil-receiver
+// no-op. Both sides are budgeted at zero allocations — the map is a
+// fixed count vector sized by the compile-time registry.
+func coverageRecord() (int, func()) {
+	m := coverage.NewMap()
+	var detached *coverage.Map
+	return 50000, func() {
+		m.Record(coverage.SiteQPState, 1)
+		m.Record(coverage.SiteInjectLookup, 0)
+		m.Record(coverage.SiteDCQCNRP, 4)
+		detached.Record(coverage.SiteAck, 0)
 	}
 }
 

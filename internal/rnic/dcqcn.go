@@ -1,6 +1,7 @@
 package rnic
 
 import (
+	"github.com/lumina-sim/lumina/internal/coverage"
 	"github.com/lumina-sim/lumina/internal/sim"
 	"github.com/lumina-sim/lumina/internal/telemetry"
 )
@@ -65,6 +66,7 @@ func (rp *rpState) rate() float64 {
 // onCNP applies the DCQCN multiplicative decrease and (re)arms the
 // estimator timers.
 func (rp *rpState) onCNP() {
+	rp.nic.Sim.Coverage().Record(coverage.SiteDCQCNRP, coverage.RPCnpCut)
 	p := rp.nic.Prof.DCQCN
 	if !rp.active {
 		rp.active = true
@@ -97,6 +99,7 @@ func (rp *rpState) alphaTick() {
 	}
 	p := rp.nic.Prof.DCQCN
 	if !rp.cnpSeen {
+		rp.nic.Sim.Coverage().Record(coverage.SiteDCQCNRP, coverage.RPAlphaDecay)
 		rp.alpha *= 1 - p.G
 	}
 	rp.cnpSeen = false
@@ -107,6 +110,7 @@ func (rp *rpState) rateTick() {
 	if !rp.active {
 		return
 	}
+	rp.nic.Sim.Coverage().Record(coverage.SiteDCQCNRP, coverage.RPTimerRound)
 	rp.timerRounds++
 	rp.increase()
 	rp.rateTimer = rp.nic.Sim.After(rp.nic.Prof.DCQCN.RateTimer, rp.rateTick)
@@ -122,6 +126,7 @@ func (rp *rpState) onBytesSent(n int) {
 	rp.bytesSent += int64(n)
 	for rp.bytesSent >= p.ByteCounter {
 		rp.bytesSent -= p.ByteCounter
+		rp.nic.Sim.Coverage().Record(coverage.SiteDCQCNRP, coverage.RPByteRound)
 		rp.byteRounds++
 		rp.increase()
 	}
@@ -142,11 +147,14 @@ func (rp *rpState) increase() {
 	switch {
 	case maxRounds <= p.FastRecoveryRounds:
 		// Fast recovery: halve the gap to the target rate.
+		rp.nic.Sim.Coverage().Record(coverage.SiteDCQCNRP, coverage.RPFastRecovery)
 	case minRounds > p.FastRecoveryRounds:
 		// Hyper increase.
+		rp.nic.Sim.Coverage().Record(coverage.SiteDCQCNRP, coverage.RPHyper)
 		rp.targetGbps += p.HAIRateGbps
 	default:
 		// Additive increase.
+		rp.nic.Sim.Coverage().Record(coverage.SiteDCQCNRP, coverage.RPAdditive)
 		rp.targetGbps += p.AIRateGbps
 	}
 	if rp.targetGbps > rp.lineGbps {
@@ -160,6 +168,7 @@ func (rp *rpState) increase() {
 	// state (hardware keeps a bounded rate-limiter pool; for the
 	// simulation this also lets the event queue drain).
 	if rp.currentGbps >= rp.lineGbps*0.999 && rp.alpha < 0.05 {
+		rp.nic.Sim.Coverage().Record(coverage.SiteDCQCNRP, coverage.RPRelease)
 		rp.active = false
 		rp.currentGbps = rp.lineGbps
 		rp.stop()

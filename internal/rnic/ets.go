@@ -3,6 +3,7 @@ package rnic
 import (
 	"fmt"
 
+	"github.com/lumina-sim/lumina/internal/coverage"
 	"github.com/lumina-sim/lumina/internal/sim"
 	"github.com/lumina-sim/lumina/internal/telemetry"
 )
@@ -164,11 +165,13 @@ func (s *etsScheduler) kick() {
 		return
 	}
 	if s.busyTil > now {
+		s.nic.Sim.Coverage().Record(coverage.SiteETSBlock, coverage.ETSBlockPortBusy)
 		s.wakeAt(s.busyTil)
 		return
 	}
 	q, qp := s.pick(now)
 	if qp == nil {
+		s.nic.Sim.Coverage().Record(coverage.SiteETSBlock, coverage.ETSBlockIdle)
 		if t, ok := s.nextEligible(now); ok {
 			s.wakeAt(t)
 		}
@@ -179,6 +182,11 @@ func (s *etsScheduler) kick() {
 	s.pending--
 	size := pkt.size
 
+	if q.cfg.Strict {
+		s.nic.Sim.Coverage().Record(coverage.SiteETSGrant, coverage.ETSGrantStrict)
+	} else {
+		s.nic.Sim.Coverage().Record(coverage.SiteETSGrant, coverage.ETSGrantWeighted)
+	}
 	if h := s.nic.Sim.Hub(); h.Active() {
 		h.EmitArgs(telemetry.KindETSPick, s.nic.Name+"/ets", "grant",
 			telemetry.I("queue", int64(q.idx)),
@@ -228,9 +236,11 @@ func (s *etsScheduler) eligible(q *etsQueue, qp *QP, now sim.Time) bool {
 		return false
 	}
 	if qp.paceReadyAt > now {
+		s.nic.Sim.Coverage().Record(coverage.SiteETSBlock, coverage.ETSBlockPacing)
 		return false
 	}
 	if q.capGbps > 0 && q.capReadyAt > now {
+		s.nic.Sim.Coverage().Record(coverage.SiteETSBlock, coverage.ETSBlockCap)
 		return false
 	}
 	return true

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net/netip"
 
+	"github.com/lumina-sim/lumina/internal/coverage"
 	"github.com/lumina-sim/lumina/internal/packet"
 	"github.com/lumina-sim/lumina/internal/sim"
 	"github.com/lumina-sim/lumina/internal/telemetry"
@@ -348,6 +349,7 @@ func (n *NIC) dispatch(pkt *packet.Packet) {
 // toward the data sender when allowed.
 func (n *NIC) maybeSendCNP(pkt *packet.Packet) {
 	if !n.Set.DCQCNNPEnable {
+		n.Sim.Coverage().Record(coverage.SiteDCQCNNP, coverage.NPDisabled)
 		return
 	}
 	qp, ok := n.qps[pkt.BTH.DestQP]
@@ -357,6 +359,7 @@ func (n *NIC) maybeSendCNP(pkt *packet.Packet) {
 	key := n.cnpScopeKey(pkt.IP.Src.String(), qp.remote.QPN)
 	now := n.Sim.Now()
 	if next, busy := n.cnpNextAllowed[key]; busy && now < next {
+		n.Sim.Coverage().Record(coverage.SiteDCQCNNP, coverage.NPSuppress)
 		if h := n.hub(); h.Active() {
 			h.EmitArgs(telemetry.KindCNPGen, n.Name+"/cnp", "suppress",
 				telemetry.I("dest_qpn", int64(qp.remote.QPN)))
@@ -364,6 +367,7 @@ func (n *NIC) maybeSendCNP(pkt *packet.Packet) {
 		}
 		return // coalesced away by the rate limiter
 	}
+	n.Sim.Coverage().Record(coverage.SiteDCQCNNP, coverage.NPSend)
 	n.cnpNextAllowed[key] = now.Add(n.minCNPInterval())
 	if h := n.hub(); h.Active() {
 		h.EmitArgs(telemetry.KindCNPGen, n.Name+"/cnp", "send",

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net/netip"
 
+	"github.com/lumina-sim/lumina/internal/coverage"
 	"github.com/lumina-sim/lumina/internal/packet"
 	"github.com/lumina-sim/lumina/internal/sim"
 	"github.com/lumina-sim/lumina/internal/telemetry"
@@ -219,6 +220,10 @@ type QP struct {
 // hub returns the telemetry bus (nil-receiver-safe no-op when detached).
 func (qp *QP) hub() *telemetry.Hub { return qp.nic.Sim.Hub() }
 
+// cov returns the behavioral coverage recorder (nil-receiver-safe no-op
+// when detached).
+func (qp *QP) cov() *coverage.Map { return qp.nic.Sim.Coverage() }
+
 // CreateQP allocates a QP with runtime-random QPN and initial PSN — the
 // property that forces Lumina's control-plane metadata exchange (§3.3).
 func (n *NIC) CreateQP(cfg QPConfig) *QP {
@@ -264,6 +269,7 @@ func (n *NIC) CreateQP(cfg QPConfig) *QP {
 	qp.track = fmt.Sprintf("%s/qp-0x%06x", n.Name, qpn)
 	qp.hub().EmitArgs(telemetry.KindQPState, qp.track, "RESET",
 		telemetry.I("qpn", int64(qpn)), telemetry.I("ipsn", int64(qp.IPSN)))
+	qp.cov().Record(coverage.SiteQPState, coverage.QPStateReset)
 	return qp
 }
 
@@ -284,6 +290,7 @@ func (qp *QP) Connect(remote Endpoint) {
 	qp.connected = true
 	qp.hub().EmitArgs(telemetry.KindQPState, qp.track, "RTS",
 		telemetry.I("remote_qpn", int64(remote.QPN)))
+	qp.cov().Record(coverage.SiteQPState, coverage.QPStateRTS)
 }
 
 // Errored reports whether the QP entered the error state (retries
@@ -605,13 +612,16 @@ func (qp *QP) handleAck(pkt *packet.Packet) {
 	a := pkt.AETH
 	switch {
 	case a.IsAck():
+		qp.cov().Record(coverage.SiteAck, coverage.AckOK)
 		qp.advanceUna(psnAdd(pkt.BTH.PSN, 1))
 	case a.IsNak():
 		code := a.Syndrome & 0x1F
 		switch code {
 		case 0: // PSN sequence error → Go-back-N fast retransmit
+			qp.cov().Record(coverage.SiteAck, coverage.AckNakSeq)
 			qp.onSequenceNak(pkt.BTH.PSN)
 		default: // fatal NAKs (remote access, invalid request, ...)
+			qp.cov().Record(coverage.SiteAck, coverage.AckNakFatal)
 			qp.fatal(StatusRemoteAccessError)
 		}
 	case a.IsRNR():
@@ -620,12 +630,15 @@ func (qp *QP) handleAck(pkt *packet.Packet) {
 		// workloads pre-post receives.
 		qp.rnrRetries++
 		if qp.rnrRetries > rnrRetryLimit {
+			qp.cov().Record(coverage.SiteAck, coverage.AckRNRExhausted)
 			qp.nic.Counters.Inc(CtrRnrNakRetry)
 			qp.fatal(StatusRNRRetryExceeded)
 			return
 		}
+		qp.cov().Record(coverage.SiteAck, coverage.AckRNR)
 		qp.nic.Sim.After(100*sim.Microsecond, func() {
 			if !qp.errored {
+				qp.cov().Record(coverage.SiteRewind, coverage.RewindRNR)
 				qp.rewind(qp.sndUna)
 			}
 		})
@@ -655,6 +668,7 @@ func (qp *QP) onSequenceNak(nakPSN uint32) {
 		}
 		// Everything before the NAK PSN is implicitly acknowledged.
 		qp.advanceUnaNoTimerReset(nakPSN)
+		qp.cov().Record(coverage.SiteRewind, coverage.RewindNak)
 		qp.rewind(nakPSN)
 	})
 }
@@ -667,6 +681,7 @@ func (qp *QP) handleReadResponse(pkt *packet.Packet) {
 	psn := pkt.BTH.PSN
 	switch {
 	case psn == qp.sndUna:
+		qp.cov().Record(coverage.SiteReadResp, coverage.ReadRespInOrder)
 		w := qp.wqeFor(psn)
 		qp.advanceUna(psnAdd(psn, 1))
 		qp.readNakArmed = true
@@ -681,6 +696,7 @@ func (qp *QP) handleReadResponse(pkt *packet.Packet) {
 			return
 		}
 		qp.readNakArmed = false
+		qp.cov().Record(coverage.SiteReadResp, coverage.ReadRespImpliedNak)
 		if !qp.nic.Prof.BugImpliedNakSeqStuck {
 			qp.nic.Counters.Inc(CtrImpliedNakSeq)
 		}
@@ -704,10 +720,12 @@ func (qp *QP) handleReadResponse(pkt *packet.Packet) {
 			if qp.errored || !psnLT(qp.sndUna, qp.nextPSN) || qp.sndUna != from {
 				return
 			}
+			qp.cov().Record(coverage.SiteRewind, coverage.RewindImpliedNak)
 			qp.rewind(from)
 		})
 	default:
 		// Duplicate response; ignore.
+		qp.cov().Record(coverage.SiteReadResp, coverage.ReadRespDuplicate)
 	}
 }
 
@@ -796,6 +814,7 @@ func (qp *QP) handleRequest(pkt *packet.Packet) {
 			qp.msgStartPSN = psn
 			if op.IsWrite() {
 				if !qp.nic.lookupMR(pkt.RETH.RKey, pkt.RETH.VA, int(pkt.RETH.DMALen)) {
+					qp.cov().Record(coverage.SiteRecv, coverage.RecvMRFail)
 					qp.sendNakNow(packet.NakRemoteAccess)
 					return
 				}
@@ -805,9 +824,11 @@ func (qp *QP) handleRequest(pkt *packet.Packet) {
 			// Receiver not ready: reject without advancing state — the
 			// retransmission must be re-deliverable once a receive is
 			// posted.
+			qp.cov().Record(coverage.SiteRecv, coverage.RecvRNRReject)
 			qp.sendAckPacket(psn, packet.SyndromeRNRNak|10)
 			return
 		}
+		qp.cov().Record(coverage.SiteRecv, coverage.RecvInOrder)
 		qp.ePSN = psnAdd(psn, 1)
 		qp.nakArmed = true
 		if op.IsLast() || op.IsOnly() {
@@ -830,6 +851,7 @@ func (qp *QP) handleRequest(pkt *packet.Packet) {
 		// Sequence gap: one NAK per gap (IB forbids repeating the same
 		// NAK), generated after the measured NACK-generation latency
 		// (Figure 8a).
+		qp.cov().Record(coverage.SiteRecv, coverage.RecvGapNak)
 		qp.nic.Counters.Inc(CtrOutOfSequence)
 		if !qp.nakArmed {
 			return
@@ -853,6 +875,7 @@ func (qp *QP) handleRequest(pkt *packet.Packet) {
 	default:
 		// Duplicate request: re-acknowledge so a lost ACK cannot stall
 		// the requester.
+		qp.cov().Record(coverage.SiteRecv, coverage.RecvDuplicate)
 		qp.nic.Counters.Inc(CtrDuplicateReq)
 		if pkt.BTH.AckReq || op.IsLast() || op.IsOnly() {
 			qp.scheduleAck(psnSub(qp.ePSN, 1))
@@ -941,9 +964,11 @@ func (qp *QP) handleReadRequest(pkt *packet.Packet) {
 	switch {
 	case psn == qp.ePSN:
 		if !qp.nic.lookupMR(pkt.RETH.RKey, pkt.RETH.VA, length) {
+			qp.cov().Record(coverage.SiteRecv, coverage.RecvMRFail)
 			qp.sendNakNow(packet.NakRemoteAccess)
 			return
 		}
+		qp.cov().Record(coverage.SiteReadReq, coverage.ReadReqNew)
 		ctx := readCtx{startPSN: psn, npkts: npkts, length: length, va: pkt.RETH.VA, rkey: pkt.RETH.RKey}
 		qp.rememberRead(ctx)
 		// A read request reserves one PSN per response packet.
@@ -960,9 +985,11 @@ func (qp *QP) handleReadRequest(pkt *packet.Packet) {
 		if !ok {
 			// Range forgotten (very old duplicate): treat as new if it
 			// validates, else NAK invalid request.
+			qp.cov().Record(coverage.SiteReadReq, coverage.ReadReqForgotten)
 			qp.sendNakNow(packet.NakInvalidReq)
 			return
 		}
+		qp.cov().Record(coverage.SiteReadReq, coverage.ReadReqReread)
 		off := int(psnSub(psn, ctx.startPSN))
 		idx := off
 		d := qp.nic.Prof.NACKReactRead.At(idx, qp.nic.rng)
@@ -974,6 +1001,7 @@ func (qp *QP) handleReadRequest(pkt *packet.Packet) {
 		})
 	default:
 		// Future read request (requests lost before it): NAK the gap.
+		qp.cov().Record(coverage.SiteReadReq, coverage.ReadReqGap)
 		qp.nic.Counters.Inc(CtrOutOfSequence)
 		if qp.nakArmed {
 			qp.nakArmed = false
@@ -1082,9 +1110,11 @@ func (qp *QP) handleAtomicRequest(pkt *packet.Packet) {
 		orig, ok := qp.nic.executeAtomic(pkt.BTH.Opcode, pkt.Atomic.RKey, pkt.Atomic.VA,
 			pkt.Atomic.SwapAdd, pkt.Atomic.Compare)
 		if !ok {
+			qp.cov().Record(coverage.SiteRecv, coverage.RecvMRFail)
 			qp.sendNakNow(packet.NakRemoteAccess)
 			return
 		}
+		qp.cov().Record(coverage.SiteAtomic, coverage.AtomicExecute)
 		qp.ePSN = psnAdd(psn, 1)
 		qp.nakArmed = true
 		qp.msn = (qp.msn + 1) & packet.PSNMask
@@ -1094,14 +1124,17 @@ func (qp *QP) handleAtomicRequest(pkt *packet.Packet) {
 		// Duplicate: replay the cached result.
 		qp.nic.Counters.Inc(CtrDuplicateReq)
 		if orig, ok := qp.atomicReplay[psn]; ok {
+			qp.cov().Record(coverage.SiteAtomic, coverage.AtomicReplay)
 			qp.sendAtomicAck(psn, orig)
 		} else {
 			// Result aged out of the replay cache: the spec calls this an
 			// invalid-request error.
+			qp.cov().Record(coverage.SiteAtomic, coverage.AtomicAgedOut)
 			qp.sendNakNow(packet.NakInvalidReq)
 		}
 	default:
 		// Sequence gap ahead of the atomic: NAK like any other request.
+		qp.cov().Record(coverage.SiteAtomic, coverage.AtomicGap)
 		qp.nic.Counters.Inc(CtrOutOfSequence)
 		if qp.nakArmed {
 			qp.nakArmed = false
@@ -1223,6 +1256,7 @@ func (qp *QP) armTimer() {
 		h.EmitArgs(telemetry.KindRetransTimer, qp.track, "arm",
 			telemetry.I("rto_ns", int64(rto)), telemetry.I("retry", int64(qp.retries)))
 	}
+	qp.cov().Record(coverage.SiteTimer, coverage.TimerArm)
 	qp.rtoTimer = s.After(rto, qp.onTimeout)
 }
 
@@ -1238,9 +1272,11 @@ func (qp *QP) onTimeout() {
 	}
 	qp.retries++
 	if qp.retries > qp.retryLimit {
+		qp.cov().Record(coverage.SiteTimer, coverage.TimerExhausted)
 		qp.fatal(StatusRetryExceeded)
 		return
 	}
+	qp.cov().Record(coverage.SiteTimer, coverage.TimerRetry)
 	// Timeout retransmission of a Read occupies the same constrained
 	// read-recovery engine as implied-NAK handling. On CX4 Lx this is
 	// what lets synchronized mass timeouts re-stall the pipeline and
@@ -1250,6 +1286,7 @@ func (qp *QP) onTimeout() {
 		qp.nic.slowPathEnter(qp.nic.Prof.NACKGenRead.At(0, qp.nic.rng))
 	}
 	qp.readNakArmed = true
+	qp.cov().Record(coverage.SiteRewind, coverage.RewindTimeout)
 	qp.rewind(qp.sndUna)
 }
 
@@ -1261,6 +1298,7 @@ func (qp *QP) fatal(st CompletionStatus) {
 	qp.errored = true
 	qp.hub().EmitArgs(telemetry.KindQPState, qp.track, "ERROR",
 		telemetry.S("status", st.String()))
+	qp.cov().Record(coverage.SiteQPState, coverage.QPStateError)
 	qp.nic.Counters.Inc(CtrRetryExceeded)
 	qp.nic.Sim.Cancel(qp.rtoTimer)
 	qp.nic.sched.flush(qp)

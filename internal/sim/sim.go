@@ -18,6 +18,7 @@ import (
 	"math"
 	"time"
 
+	"github.com/lumina-sim/lumina/internal/coverage"
 	"github.com/lumina-sim/lumina/internal/telemetry"
 )
 
@@ -203,6 +204,11 @@ type Simulator struct {
 	// events or touches the RNG, so attaching it cannot perturb the
 	// simulated history.
 	hub *telemetry.Hub
+
+	// cov is the attached behavioral coverage recorder; nil (the
+	// default) makes every Record call a nil-receiver no-op. Coverage
+	// shares telemetry's observe-only contract.
+	cov *coverage.Map
 }
 
 // New creates a simulator whose RNG is seeded with seed. Two simulators
@@ -227,6 +233,16 @@ func (s *Simulator) AttachHub(h *telemetry.Hub) {
 // All *telemetry.Hub methods are nil-receiver no-ops, so callers emit
 // unconditionally: s.Hub().Emit(...).
 func (s *Simulator) Hub() *telemetry.Hub { return s.hub }
+
+// AttachCoverage connects a behavioral coverage recorder: components
+// reached through Coverage() start counting (site, transition)
+// traversals. Attaching nil detaches.
+func (s *Simulator) AttachCoverage(m *coverage.Map) { s.cov = m }
+
+// Coverage returns the attached coverage map, nil when none is
+// attached. *coverage.Map.Record is a nil-receiver no-op, so callers
+// record unconditionally: s.Coverage().Record(site, transition).
+func (s *Simulator) Coverage() *coverage.Map { return s.cov }
 
 // RNG returns the simulation's deterministic random number generator.
 func (s *Simulator) RNG() *RNG { return s.rng }

@@ -30,6 +30,7 @@ import (
 	"github.com/lumina-sim/lumina/internal/analyzer"
 	"github.com/lumina-sim/lumina/internal/config"
 	"github.com/lumina-sim/lumina/internal/corpus"
+	"github.com/lumina-sim/lumina/internal/coverage"
 	"github.com/lumina-sim/lumina/internal/engine"
 	"github.com/lumina-sim/lumina/internal/fuzz"
 	"github.com/lumina-sim/lumina/internal/inband"
@@ -116,14 +117,45 @@ type (
 	INTHopDigest  = inband.HopDigest
 )
 
-// Fuzzing (§4, Algorithm 1).
+// Behavioral coverage (Options.Coverage: deterministic (site,
+// transition) pair recording across the transport FSM, DCQCN, ETS
+// arbiter, and injector match-action pipeline, collected into
+// Report.Coverage / coverage.json and diffed with `lumina-trace
+// coverage`; the frontier union across a corpus comes from
+// `lumina-corpus coverage`).
 type (
-	FuzzTarget  = fuzz.Target
-	FuzzParam   = fuzz.Param
-	FuzzOptions = fuzz.Options
-	FuzzResult  = fuzz.Result
-	FuzzFinding = fuzz.Finding
-	Genome      = fuzz.Genome
+	CoverageReport   = coverage.Report
+	CoverageSite     = coverage.SiteReport
+	CoverageDiff     = coverage.Diff
+	CoverageFrontier = corpus.FrontierFile
+)
+
+// CoverageSchema versions coverage.json (see Report.WriteCoverage).
+const CoverageSchema = coverage.Schema
+
+// DiffCoverage reports the (site, transition) pairs covered by only
+// one of two reports.
+func DiffCoverage(a, b *CoverageReport) CoverageDiff { return coverage.DiffReports(a, b) }
+
+// ReadCoverage parses a coverage.json document.
+func ReadCoverage(data []byte) (*CoverageReport, error) { return coverage.ReadReport(data) }
+
+// CoverageUniverse is the total number of recordable (site, transition)
+// pairs across every instrumented site.
+func CoverageUniverse() int { return coverage.Total() }
+
+// Fuzzing (§4, Algorithm 1). FuzzOptions.Coverage turns the genetic
+// search coverage-guided: mutants that light up new (site, transition)
+// pairs stay in the pool regardless of score, and below-threshold
+// frontier-advancing runs surface as FuzzResult.CoverageSeeds.
+type (
+	FuzzTarget   = fuzz.Target
+	FuzzParam    = fuzz.Param
+	FuzzOptions  = fuzz.Options
+	FuzzResult   = fuzz.Result
+	FuzzFinding  = fuzz.Finding
+	Genome       = fuzz.Genome
+	FindingsFile = fuzz.FindingsFile
 )
 
 // Duration is virtual time in nanoseconds.
