@@ -184,6 +184,7 @@ func cmdReplay(args []string) error {
 	intFlag := fs.Bool("int", false, "replay with in-band telemetry enabled (observe-only: cells still judge against the INT-agnostic goldens)")
 	covFlag := fs.Bool("coverage", false, "replay with behavioral coverage enabled (observe-only, like -int) and report per-profile frontiers")
 	artifacts := fs.String("artifacts", "", "write each cell's summary.json (and int.json with -int, coverage.json with -coverage) under this directory for byte-level diffing")
+	shards := fs.Int("shards", 1, "event-loop shards per cell: >1 partitions the simulation per node (artifact-preserving; cells still judge against shards=1 goldens)")
 	fs.Parse(args)
 	profiles, err := parseProfiles(*profCSV)
 	if err != nil {
@@ -191,7 +192,7 @@ func cmdReplay(args []string) error {
 	}
 	m, err := corpus.Replay(context.Background(), *dir,
 		corpus.ReplayOptions{Profiles: profiles, Workers: *workers,
-			INT: *intFlag, Coverage: *covFlag, ArtifactsDir: *artifacts})
+			INT: *intFlag, Coverage: *covFlag, ArtifactsDir: *artifacts, Shards: *shards})
 	if err != nil {
 		return err
 	}

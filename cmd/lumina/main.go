@@ -29,6 +29,7 @@ func main() {
 	metrics := flag.String("metrics", "", "write the telemetry metrics snapshot (JSON) to this file")
 	intFlag := flag.Bool("int", false, "enable in-band telemetry: per-hop INT stamping, joined to lineage chains (int.json with -out)")
 	covFlag := flag.Bool("coverage", false, "record behavioral coverage: FSM/match-action (site, transition) pairs (coverage.json with -out)")
+	shards := flag.Int("shards", 1, "event-loop shards: >1 partitions the simulation per node with conservative lookahead (artifacts stay byte-identical)")
 	flag.Parse()
 
 	if *cfgPath == "" {
@@ -48,6 +49,7 @@ func main() {
 		Lineage:   true,
 		INT:       *intFlag,
 		Coverage:  *covFlag,
+		Shards:    *shards,
 	})
 	if err != nil {
 		fatal(err)

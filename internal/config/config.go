@@ -30,7 +30,35 @@ type Test struct {
 	Traffic   Traffic    `json:"traffic"`
 	Switch    Switch     `json:"switch"`
 	Dumpers   DumperPool `json:"dumper-pool"`
+
+	// Fabric, when present, replaces the 2-host pair with a leaf-spine
+	// fabric: Leaves×HostsPerLeaf hosts, one injector-capable spine, and
+	// plain L2 leaves. The Requester host template configures every
+	// sender NIC and the Responder template the receiver; Traffic then
+	// describes each sender→receiver pair. Nil (the default, and the
+	// only form the pair-testbed corpus uses) keeps the classic
+	// requester/responder testbed.
+	Fabric *FabricTopo `json:"fabric,omitempty"`
 }
+
+// FabricTopo is the leaf-spine topology description for fabric-scale
+// runs (hundreds of QPs converging through one switch tier).
+type FabricTopo struct {
+	// Leaves is the number of leaf switches; HostsPerLeaf the hosts
+	// hanging off each leaf. Host 0 (on leaf 0) is the traffic sink.
+	Leaves       int `json:"leaves"`
+	HostsPerLeaf int `json:"hosts-per-leaf"`
+	// UplinkGbps is the leaf↔spine trunk rate (the incast bottleneck
+	// shifts to the receiver's leaf downlink when this exceeds the host
+	// line rate).
+	UplinkGbps float64 `json:"uplink-gbps"`
+	// Pattern names the traffic pattern; only "incast" (every other
+	// host sends to host 0) is defined.
+	Pattern string `json:"pattern"`
+}
+
+// Hosts returns the total host count.
+func (f FabricTopo) Hosts() int { return f.Leaves * f.HostsPerLeaf }
 
 // Host mirrors Listing 1: the NIC under test and its RoCE parameters.
 type Host struct {
@@ -300,6 +328,29 @@ func (t *Test) Validate() error {
 			return fmt.Errorf("config: dumper weight %d must be positive", i)
 		}
 	}
+	if f := t.Fabric; f != nil {
+		if f.Leaves <= 0 {
+			f.Leaves = 2
+		}
+		if f.HostsPerLeaf <= 0 {
+			f.HostsPerLeaf = 8
+		}
+		if f.UplinkGbps <= 0 {
+			f.UplinkGbps = 400
+		}
+		if f.Pattern == "" {
+			f.Pattern = "incast"
+		}
+		if f.Pattern != "incast" {
+			return fmt.Errorf("config: unknown fabric pattern %q", f.Pattern)
+		}
+		if f.Hosts() < 2 {
+			return fmt.Errorf("config: fabric needs at least 2 hosts, got %d", f.Hosts())
+		}
+		if len(tr.Events) > 0 {
+			return fmt.Errorf("config: data-pkt-events are pair-testbed only; not valid with a fabric")
+		}
+	}
 	return nil
 }
 
@@ -376,6 +427,15 @@ func Parse(data []byte) (Test, error) {
 				return Test{}, fmt.Errorf("config: bad dumper weight %q", v)
 			}
 			t.Dumpers.Weights = append(t.Dumpers.Weights, x)
+		}
+	}
+	if w.Has("fabric") {
+		f := w.Child("fabric")
+		t.Fabric = &FabricTopo{
+			Leaves:       f.Int("leaves", 0),
+			HostsPerLeaf: f.Int("hosts-per-leaf", 0),
+			UplinkGbps:   f.Float("uplink-gbps", 0),
+			Pattern:      f.Str("pattern", ""),
 		}
 	}
 	if err := w.Err(); err != nil {

@@ -16,6 +16,16 @@ func (t Test) MarshalYAML() ([]byte, error) {
 		"switch":      switchDoc(t.Switch),
 		"dumper-pool": dumperDoc(t.Dumpers),
 	}
+	// Emitted only when present, so pair-testbed documents (the whole
+	// existing corpus) marshal byte-identically to before fabrics existed.
+	if f := t.Fabric; f != nil {
+		doc["fabric"] = map[string]any{
+			"leaves":         int64(f.Leaves),
+			"hosts-per-leaf": int64(f.HostsPerLeaf),
+			"uplink-gbps":    f.UplinkGbps,
+			"pattern":        f.Pattern,
+		}
+	}
 	return yamlite.Marshal(doc)
 }
 

@@ -173,6 +173,11 @@ type ReplayOptions struct {
 	// material for diffing two replays (e.g. different worker counts)
 	// byte-for-byte in CI.
 	ArtifactsDir string
+	// Shards partitions each cell's event loop per node (>1). Sharding
+	// is artifact-preserving, so cells still judge against the goldens
+	// recorded at shards=1 — a sharded replay that drifts has caught
+	// the partitioning perturbing the simulation.
+	Shards int
 }
 
 // Replay re-runs every corpus entry under every requested profile and
@@ -239,7 +244,7 @@ func Replay(ctx context.Context, dir string, opts ReplayOptions) (*Matrix, error
 			jobs = append(jobs, engine.Job{
 				Label: fmt.Sprintf("%s@%s", e.ID, p),
 				Cfg:   withProfile(e.Config, p),
-				Opts:  orchestrator.Options{Deadline: deadline, Lineage: true, INT: opts.INT, Coverage: opts.Coverage},
+				Opts:  orchestrator.Options{Deadline: deadline, Lineage: true, INT: opts.INT, Coverage: opts.Coverage, Shards: opts.Shards},
 			})
 			refs = append(refs, cellRef{i, j})
 		}

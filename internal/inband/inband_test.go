@@ -36,11 +36,13 @@ func TestOriginAssignsFreshTransits(t *testing.T) {
 	if c.TransitCount() != 2 {
 		t.Fatalf("TransitCount = %d, want 2", c.TransitCount())
 	}
-	if got := c.Stamps(); len(got) != 2 || got[0].Transit != 1 || got[1].Transit != 2 {
-		t.Fatalf("stamps = %+v, want transits 1 and 2", got)
+	t1, t2 := uint64(1)<<32|1, uint64(1)<<32|2 // namespaced: origin hop 0
+	if got := c.Stamps(); len(got) != 2 || got[0].Transit != t1 || got[1].Transit != t2 {
+		t.Fatalf("stamps = %+v, want transits %d and %d", got, t1, t2)
 	}
-	if packet.INTTransit(w1) != 1 || packet.INTTransit(w2) != 2 {
-		t.Fatalf("wire tags = %d/%d, want 1/2", packet.INTTransit(w1), packet.INTTransit(w2))
+	g1, g2 := uint16(1)<<10, uint16(1)<<10|1 // tag = origin hop + per-origin count
+	if packet.INTTransit(w1) != g1 || packet.INTTransit(w2) != g2 {
+		t.Fatalf("wire tags = %d/%d, want %d/%d", packet.INTTransit(w1), packet.INTTransit(w2), g1, g2)
 	}
 }
 
@@ -91,8 +93,8 @@ func TestPipelineBindsLineage(t *testing.T) {
 	if c.BindCount() != 1 {
 		t.Fatalf("BindCount = %d, want 1", c.BindCount())
 	}
-	if tr, ok := c.TransitOf(42); !ok || tr != 1 {
-		t.Fatalf("TransitOf(42) = %d/%v, want 1/true", tr, ok)
+	if tr, ok := c.TransitOf(42); !ok || tr != uint64(1)<<32|1 {
+		t.Fatalf("TransitOf(42) = %d/%v, want origin-namespaced transit 1", tr, ok)
 	}
 	if _, ok := c.TransitOf(43); ok {
 		t.Fatal("unbound lineage ID resolved")

@@ -61,11 +61,12 @@ func (c *Collector) Join(g *lineage.Graph) []ChainHops {
 	if g == nil || len(g.Chains) == 0 {
 		return nil
 	}
-	// Index the stamp log by transit; per-transit order is virtual-time
-	// order because the log itself is.
-	byTransit := make(map[uint64][]int, c.next)
-	for i := range c.stamps {
-		byTransit[c.stamps[i].Transit] = append(byTransit[c.stamps[i].Transit], i)
+	// Index the canonical stamp log by transit; per-transit order is
+	// virtual-time order because the log itself is.
+	stamps := c.Stamps()
+	byTransit := make(map[uint64][]int, c.TransitCount())
+	for i := range stamps {
+		byTransit[stamps[i].Transit] = append(byTransit[stamps[i].Transit], i)
 	}
 	out := make([]ChainHops, 0, len(g.Chains))
 	for _, ch := range g.Chains {
@@ -79,19 +80,19 @@ func (c *Collector) Join(g *lineage.Graph) []ChainHops {
 			n := &g.Nodes[id]
 			nh := NodeHops{Kind: string(n.Kind), AtNs: int64(n.At), PSN: n.PSN, Seq: n.Seq}
 			if n.Seq != 0 {
-				if transit, ok := c.byLineage[n.Seq]; ok {
+				if transit, ok := c.core.byLineage[n.Seq]; ok {
 					nh.Transit = transit
 					idx := byTransit[transit]
 					for k, si := range idx {
-						s := &c.stamps[si]
+						s := &stamps[si]
 						cr := HopCrossing{
-							Hop:          c.hops[s.Hop].name,
+							Hop:          c.core.hops[s.Hop].name,
 							AtNs:         s.AtNs,
 							QueueBytes:   s.QueueBytes,
 							UtilPermille: s.UtilPermille,
 						}
 						if k+1 < len(idx) {
-							cr.LatencyNs = c.stamps[idx[k+1]].AtNs - s.AtNs
+							cr.LatencyNs = stamps[idx[k+1]].AtNs - s.AtNs
 						}
 						nh.Hops = append(nh.Hops, cr)
 					}

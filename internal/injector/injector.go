@@ -102,6 +102,7 @@ type Switch struct {
 	hostPorts   []*sim.Port
 	hostMACs    []packet.MAC
 	macTable    map[packet.MAC]int
+	defaultPort int // unknown-unicast egress (-1 = drop); see SetDefaultPort
 	dumperPorts []*sim.Port
 	wrrWeights  []int
 	wrrCurrent  []int
@@ -149,13 +150,14 @@ func New(s *sim.Simulator, cfg config.Switch) *Switch {
 		cfg.PipelineLatencyNs = 400
 	}
 	return &Switch{
-		Sim:      s,
-		Cfg:      cfg,
-		macTable: map[packet.MAC]int{},
-		rules:    map[ruleKey]*Rule{},
-		conns:    map[connKey]*connState{},
-		held:     map[connKey][]*heldPkt{},
-		rng:      s.RNG().Fork(),
+		Sim:         s,
+		Cfg:         cfg,
+		macTable:    map[packet.MAC]int{},
+		defaultPort: -1,
+		rules:       map[ruleKey]*Rule{},
+		conns:       map[connKey]*connState{},
+		held:        map[connKey][]*heldPkt{},
+		rng:         s.RNG().Fork(),
 	}
 }
 
@@ -183,6 +185,28 @@ func (sw *Switch) AttachHost(port *sim.Port, mac packet.MAC) int {
 	port.SetReceiver(func(wire []byte) { sw.ingress(idx, wire) })
 	return idx
 }
+
+// AttachTrunk binds a fabric-facing trunk port (a leaf uplink, or a
+// spine port toward one leaf) that fronts many MACs: every address in
+// macs forwards out of this port. The trunk shares the host-port
+// numbering and counters — it is a host port whose "host" is a subtree
+// of the fabric. Returns the port index.
+func (sw *Switch) AttachTrunk(port *sim.Port, macs []packet.MAC) int {
+	idx := len(sw.hostPorts)
+	sw.hostPorts = append(sw.hostPorts, port)
+	sw.hostMACs = append(sw.hostMACs, packet.MAC{})
+	for _, mac := range macs {
+		sw.macTable[mac] = idx
+	}
+	sw.perPort = append(sw.perPort, PortCounters{})
+	port.SetReceiver(func(wire []byte) { sw.ingress(idx, wire) })
+	return idx
+}
+
+// SetDefaultPort routes unknown-unicast frames out of the host port at
+// idx instead of dropping them — the leaf switch's default route up to
+// the spine. Pass -1 to restore dropping.
+func (sw *Switch) SetDefaultPort(idx int) { sw.defaultPort = idx }
 
 // AttachDumper binds a mirror port with a WRR weight (≥1).
 func (sw *Switch) AttachDumper(port *sim.Port, weight int) {
@@ -459,7 +483,10 @@ func (sw *Switch) dataPlaneLatency(roce bool) sim.Duration {
 func (sw *Switch) forward(wire []byte, dst packet.MAC, isRoCE bool) {
 	idx, ok := sw.macTable[dst]
 	if !ok {
-		return // unknown unicast: drop (no flooding in a 2-host testbed)
+		if sw.defaultPort < 0 {
+			return // unknown unicast: drop (no flooding in a 2-host testbed)
+		}
+		idx = sw.defaultPort // default route: the uplink trunk
 	}
 	port := sw.hostPorts[idx]
 	out := wire
@@ -479,7 +506,10 @@ func (sw *Switch) forward(wire []byte, dst packet.MAC, isRoCE bool) {
 func (sw *Switch) forwardNow(wire []byte, dst packet.MAC, isRoCE bool) {
 	idx, ok := sw.macTable[dst]
 	if !ok {
-		return
+		if sw.defaultPort < 0 {
+			return
+		}
+		idx = sw.defaultPort
 	}
 	sw.perPort[idx].TxFrames++
 	sw.total.TxFrames++

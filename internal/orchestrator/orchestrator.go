@@ -73,6 +73,19 @@ type Options struct {
 	// off, and coverage.json itself is byte-identical at any engine
 	// worker count and with INT on or off.
 	Coverage bool
+
+	// Shards selects the sharded event-loop engine (sim.Fabric): each
+	// fabric node — host NIC, leaf, spine+dumpers — runs its own event
+	// heap, synchronized by conservative lookahead, with Shards capping
+	// how many node loops execute concurrently inside one window.
+	//
+	// 0 or 1 (the default) keeps today's inline single-heap path for
+	// pair testbeds; >1 partitions the pair across three nodes
+	// (requester / responder / switch+dumpers). Configurations with a
+	// fabric topology (config.Test.Fabric) always build per-node and use
+	// Shards only as the parallelism cap. Every artifact is
+	// byte-identical at any Shards value.
+	Shards int
 }
 
 // DefaultOptions allows generous virtual time for timeout-heavy tests.
@@ -160,6 +173,32 @@ type Testbed struct {
 	Ports []*sim.Port
 	// INT is the in-band telemetry collector; nil unless Options.INT.
 	INT *inband.Collector
+
+	// Fabric is the sharded event-loop engine; nil on the inline path
+	// (pair testbed with Options.Shards <= 1). When non-nil, Sim aliases
+	// node 0 and Execute runs the conservative-window loop (shard.go).
+	Fabric *sim.Fabric
+	// Pairs are the per-sender traffic generators of a fabric-topology
+	// run (Pair is nil then); pair testbeds use Pair.
+	Pairs []*traffic.Pair
+	// Senders/Recv are the fabric-topology NICs: Recv is host 0 (the
+	// incast sink), Senders the rest. Nil on pair testbeds, which use
+	// ReqNIC/RespNIC.
+	Senders []*rnic.NIC
+	Recv    *rnic.NIC
+	// Leaves are the L2-only leaf switches of a fabric topology (the
+	// Switch field holds the injector-capable spine).
+	Leaves []*injector.Switch
+
+	// Sharded-run telemetry plumbing: ctl is the control hub owning the
+	// canonical merged stream, hubs the per-shard hubs in node order,
+	// covs the per-shard coverage maps. evPrefix/evDrain are splice
+	// indices into ctl's stream (see spliceEvents).
+	ctl               *telemetry.Hub
+	hubs              []*telemetry.Hub
+	covs              []*coverage.Map
+	evPrefix, evDrain int
+	shardRunDeadline  sim.Time
 }
 
 // Build assembles the testbed for cfg without starting traffic.
@@ -169,6 +208,9 @@ func Build(cfg config.Test, opts Options) (*Testbed, error) {
 	}
 	if opts.Deadline <= 0 {
 		opts.Deadline = DefaultOptions().Deadline
+	}
+	if cfg.Fabric != nil || opts.Shards > 1 {
+		return buildSharded(cfg, opts)
 	}
 	s := sim.New(cfg.Seed)
 	if opts.Telemetry {
@@ -294,6 +336,9 @@ func buildNIC(s *sim.Simulator, h config.Host, name string, mac packet.MAC) (*rn
 // Execute runs traffic to completion (or the deadline), collects all
 // results, reconstructs the trace and performs the integrity check.
 func (tb *Testbed) Execute() (*Report, error) {
+	if tb.Fabric != nil {
+		return tb.executeSharded()
+	}
 	hub := tb.Sim.Hub()
 	hub.Emit(telemetry.KindRunPhase, "orchestrator", "traffic")
 	if err := tb.Pair.Start(nil); err != nil {

@@ -1,0 +1,532 @@
+// Sharded testbed construction and execution: the orchestrator half of
+// the sim.Fabric refactor. Two partitionings exist:
+//
+//   - pair sharding (Options.Shards > 1, no config fabric): the classic
+//     requester/responder testbed split across three nodes — requester
+//     NIC, responder NIC, switch+dumpers — mirroring the inline build's
+//     component creation order exactly (same RNG fork sequence, same
+//     port names, same INT hop IDs) so every artifact is byte-identical
+//     to an unsharded run;
+//
+//   - fabric topology (config.Test.Fabric): a leaf-spine fabric with
+//     one node per host, per leaf, and one for the spine+dumpers. The
+//     partitioning is the same at every Shards value — Shards only caps
+//     how many node loops run concurrently — so artifacts are
+//     byte-identical at shards=1 vs shards=N by construction.
+//
+// Determinism of the merged artifacts:
+//
+//   - probe events: serial phases (build, traffic start, teardown)
+//     route every shard hub into one control hub via SetSink,
+//     preserving exact call order; run-phase streams record per shard
+//     and merge by (instant, scheduling instant) — the order a single
+//     global heap fires in (see telemetry.MergeEvents);
+//   - metrics: per-shard registries fold order-independently
+//     (Registry.MergeInto: counters add, gauges are single-writer,
+//     histograms merge bucket-wise);
+//   - INT stamps: per-shard collector views share one hop table with
+//     per-origin transit namespacing; the canonical log interleaves by
+//     stamp instant (see package inband);
+//   - coverage: per-shard maps fold with coverage.MergeReports
+//     (count-summing, order-independent).
+package orchestrator
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"github.com/lumina-sim/lumina/internal/analyzer"
+	"github.com/lumina-sim/lumina/internal/config"
+	"github.com/lumina-sim/lumina/internal/coverage"
+	"github.com/lumina-sim/lumina/internal/dumper"
+	"github.com/lumina-sim/lumina/internal/inband"
+	"github.com/lumina-sim/lumina/internal/injector"
+	"github.com/lumina-sim/lumina/internal/lineage"
+	"github.com/lumina-sim/lumina/internal/packet"
+	"github.com/lumina-sim/lumina/internal/rnic"
+	"github.com/lumina-sim/lumina/internal/sim"
+	"github.com/lumina-sim/lumina/internal/telemetry"
+	"github.com/lumina-sim/lumina/internal/trace"
+	"github.com/lumina-sim/lumina/internal/traffic"
+)
+
+// hostLinkProp is the host↔switch propagation delay, shared with the
+// inline build (100 ns); it doubles as the conservative lookahead bound
+// on every cross-shard link.
+const hostLinkProp = 100
+
+// buildSharded dispatches on the partitioning: a config fabric builds
+// per-node; otherwise the pair testbed splits across three nodes.
+func buildSharded(cfg config.Test, opts Options) (*Testbed, error) {
+	if cfg.Fabric != nil {
+		return buildFabricTopo(cfg, opts)
+	}
+	return buildShardedPair(cfg, opts)
+}
+
+// newShardFabric creates the n-node fabric with its telemetry and
+// coverage plumbing: one hub and one coverage map per node, every hub
+// sinking into the control hub until the run phase starts.
+func newShardFabric(seed int64, n, maxPar int, opts Options) (*sim.Fabric, *telemetry.Hub, []*telemetry.Hub, []*coverage.Map) {
+	if maxPar < 1 {
+		maxPar = 1
+	}
+	f := sim.NewFabric(seed, n, maxPar)
+	var ctl *telemetry.Hub
+	var hubs []*telemetry.Hub
+	if opts.Telemetry {
+		ctl = telemetry.NewHub()
+		ctl.SetClock(func() int64 { return int64(f.Now()) })
+		for i := 0; i < n; i++ {
+			h := telemetry.NewHub()
+			f.Node(i).AttachHub(h)
+			h.SetSink(ctl)
+			hubs = append(hubs, h)
+		}
+		ctl.Emit(telemetry.KindRunPhase, "orchestrator", "setup")
+	}
+	var covs []*coverage.Map
+	if opts.Coverage {
+		for i := 0; i < n; i++ {
+			m := coverage.NewMap()
+			f.Node(i).AttachCoverage(m)
+			covs = append(covs, m)
+		}
+	}
+	return f, ctl, hubs, covs
+}
+
+// buildShardedPair assembles the classic 2-host testbed across three
+// shards. Component creation order — and therefore the shared-RNG fork
+// sequence, port naming, and INT hop registration — mirrors Build
+// exactly, so the simulated history is the one the inline path produces.
+func buildShardedPair(cfg config.Test, opts Options) (*Testbed, error) {
+	const (
+		nodeReq = iota
+		nodeResp
+		nodeSwitch
+		nodes
+	)
+	f, ctl, hubs, covs := newShardFabric(cfg.Seed, nodes, opts.Shards, opts)
+
+	reqNIC, err := buildNIC(f.Node(nodeReq), cfg.Requester, "requester", packet.MAC{2, 0, 0, 0, 0, 1})
+	if err != nil {
+		return nil, err
+	}
+	respNIC, err := buildNIC(f.Node(nodeResp), cfg.Responder, "responder", packet.MAC{2, 0, 0, 0, 0, 2})
+	if err != nil {
+		return nil, err
+	}
+
+	sw := injector.New(f.Node(nodeSwitch), cfg.Switch)
+	sw.NoRSSRewrite = !cfg.Dumpers.RSSPortRewrite
+	sw.ByIngressMirror = !cfg.Dumpers.PerPacketLB
+
+	reqPort, swReq := f.Connect(nodeReq, nodeSwitch, "req-nic", "sw-req", reqNIC.Prof.LinkGbps, hostLinkProp)
+	respPort, swResp := f.Connect(nodeResp, nodeSwitch, "resp-nic", "sw-resp", respNIC.Prof.LinkGbps, hostLinkProp)
+	reqNIC.AttachPort(reqPort)
+	respNIC.AttachPort(respPort)
+	sw.AttachHost(swReq, reqNIC.MAC)
+	sw.AttachHost(swResp, respNIC.MAC)
+	ports := []*sim.Port{reqPort, swReq, respPort, swResp}
+
+	// INT hops register on the shared table in the inline order (same
+	// hop IDs); each port binds on its owning shard's view.
+	var col *inband.Collector
+	if opts.INT {
+		col = inband.NewCollector(ctl)
+		views := col.Views(nodes)
+		views[nodeReq].AttachPort(reqPort, true)
+		views[nodeResp].AttachPort(respPort, true)
+		views[nodeSwitch].AttachPort(swReq, false)
+		views[nodeSwitch].AttachPort(swResp, false)
+		sw.EnableINT(views[nodeSwitch])
+	}
+
+	pool, dumpPorts := buildDumpers(f.Node(nodeSwitch), cfg, sw)
+	ports = append(ports, dumpPorts...)
+
+	pair, err := traffic.NewPair(f.Node(nodeReq), reqNIC, respNIC, cfg.Traffic)
+	if err != nil {
+		return nil, err
+	}
+	metas := pair.ConnMetas()
+	for _, m := range metas {
+		sw.AddConnection(m)
+	}
+	if cfg.Switch.Inject {
+		rules, err := injector.TranslateIntents(cfg.Traffic.Events, cfg.Traffic.Verb, metas, cfg.Traffic.PacketsPerQP())
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range rules {
+			sw.InstallRule(r)
+		}
+	}
+
+	return &Testbed{
+		Cfg: cfg, Opts: opts,
+		Sim: f.Node(nodeReq), ReqNIC: reqNIC, RespNIC: respNIC,
+		Switch: sw, Pool: pool, Pair: pair,
+		Ports: ports, INT: col,
+		Fabric: f, ctl: ctl, hubs: hubs, covs: covs,
+	}, nil
+}
+
+// buildDumpers attaches the dumper pool to the switch's node, exactly
+// as the inline build does.
+func buildDumpers(s *sim.Simulator, cfg config.Test, sw *injector.Switch) (*dumper.Pool, []*sim.Port) {
+	nNodes := cfg.Dumpers.Nodes
+	if !cfg.Dumpers.PerPacketLB && nNodes > 2 {
+		nNodes = 2
+	}
+	dcfg := dumper.Config{
+		Cores:       cfg.Dumpers.CoresPerNode,
+		PerCoreGbps: cfg.Dumpers.PerCoreGbps,
+		TrimBytes:   cfg.Dumpers.TrimBytes,
+	}
+	pool := dumper.NewPool(s, nNodes, dcfg)
+	var ports []*sim.Port
+	for i, node := range pool.Nodes {
+		nodePort, swPort := sim.Connect(s, fmt.Sprintf("dumper-%d", i), fmt.Sprintf("sw-dump-%d", i), cfg.Dumpers.NodeGbps, hostLinkProp)
+		node.AttachPort(nodePort)
+		w := 1
+		if i < len(cfg.Dumpers.Weights) {
+			w = cfg.Dumpers.Weights[i]
+		}
+		sw.AttachDumper(swPort, w)
+		ports = append(ports, nodePort, swPort)
+	}
+	return pool, ports
+}
+
+// hostMAC/hostIP generate fabric host addressing (outside the pair
+// testbed's 2,0,0,0,0,x space).
+func hostMAC(i int) packet.MAC {
+	return packet.MAC{2, 0, 0, 1, byte(i >> 8), byte(i)}
+}
+
+func hostIP(i int) netip.Addr {
+	return netip.AddrFrom4([4]byte{10, 1, byte(i / 250), byte(i%250 + 1)})
+}
+
+// buildFabricTopo assembles a leaf-spine fabric: one shard per host,
+// per leaf, and one for the spine (which carries the injector pipeline
+// and the dumper pool). Host 0 is the traffic sink (the Responder host
+// template); every other host is a sender (Requester template) with its
+// own traffic pair toward host 0.
+func buildFabricTopo(cfg config.Test, opts Options) (*Testbed, error) {
+	ft := cfg.Fabric
+	hosts := ft.Hosts()
+	spineNode := hosts + ft.Leaves
+	f, ctl, hubs, covs := newShardFabric(cfg.Seed, spineNode+1, opts.Shards, opts)
+
+	// Hosts first, in index order (the RNG fork order).
+	nics := make([]*rnic.NIC, hosts)
+	for i := range nics {
+		tmpl := cfg.Requester
+		if i == 0 {
+			tmpl = cfg.Responder
+		}
+		h := tmpl
+		h.NIC.IPList = []netip.Addr{hostIP(i)}
+		nic, err := buildNIC(f.Node(i), h, fmt.Sprintf("host-%d", i), hostMAC(i))
+		if err != nil {
+			return nil, err
+		}
+		nics[i] = nic
+	}
+
+	// Leaves are plain L2 forwarders; the spine carries the full Lumina
+	// pipeline (mirroring, injection, ITER tracking).
+	leafCfg := config.Switch{PipelineLatencyNs: cfg.Switch.PipelineLatencyNs, L2Only: true}
+	leaves := make([]*injector.Switch, ft.Leaves)
+	for l := range leaves {
+		leaves[l] = injector.New(f.Node(hosts+l), leafCfg)
+	}
+	spine := injector.New(f.Node(spineNode), cfg.Switch)
+	spine.NoRSSRewrite = !cfg.Dumpers.RSSPortRewrite
+	spine.ByIngressMirror = !cfg.Dumpers.PerPacketLB
+
+	// Host downlinks, then leaf↔spine trunks. The spine's MAC table
+	// routes each host's address out of the trunk toward its leaf; a
+	// leaf default-routes unknown unicast up to the spine.
+	var ports []*sim.Port
+	hostPorts := make([]*sim.Port, hosts)
+	for i := range nics {
+		l := i / ft.HostsPerLeaf
+		hp, lp := f.Connect(i, hosts+l,
+			fmt.Sprintf("host-%d", i), fmt.Sprintf("leaf-%d-p%d", l, i%ft.HostsPerLeaf),
+			nics[i].Prof.LinkGbps, hostLinkProp)
+		nics[i].AttachPort(hp)
+		leaves[l].AttachHost(lp, nics[i].MAC)
+		hostPorts[i] = hp
+		ports = append(ports, hp, lp)
+	}
+	uplinks := make([]*sim.Port, 0, ft.Leaves*2)
+	for l := range leaves {
+		up, down := f.Connect(hosts+l, spineNode,
+			fmt.Sprintf("leaf-%d-up", l), fmt.Sprintf("spine-p%d", l),
+			ft.UplinkGbps, hostLinkProp)
+		idx := leaves[l].AttachTrunk(up, nil)
+		leaves[l].SetDefaultPort(idx)
+		var macs []packet.MAC
+		for i := l * ft.HostsPerLeaf; i < (l+1)*ft.HostsPerLeaf; i++ {
+			macs = append(macs, nics[i].MAC)
+		}
+		spine.AttachTrunk(down, macs)
+		uplinks = append(uplinks, up, down)
+		ports = append(ports, up, down)
+	}
+
+	// INT: host egress ports originate transits (hop IDs 0..hosts-1,
+	// within the tag's origin space for fabrics up to 63 hosts); leaf
+	// uplinks and spine downlinks are transit hops; the spine pipeline
+	// binds transits to mirror sequence numbers.
+	var col *inband.Collector
+	if opts.INT {
+		col = inband.NewCollector(ctl)
+		views := col.Views(spineNode + 1)
+		for i, hp := range hostPorts {
+			views[i].AttachPort(hp, true)
+		}
+		for k := 0; k < len(uplinks); k += 2 {
+			l := k / 2
+			views[hosts+l].AttachPort(uplinks[k], false)
+			views[spineNode].AttachPort(uplinks[k+1], false)
+		}
+		spine.EnableINT(views[spineNode])
+	}
+
+	pool, dumpPorts := buildDumpers(f.Node(spineNode), cfg, spine)
+	ports = append(ports, dumpPorts...)
+
+	// One traffic pair per sender, all converging on host 0. Pair state
+	// lives on the sender's shard (every runtime callback is
+	// requester-side); QP setup below is serial build-phase work.
+	var pairs []*traffic.Pair
+	for i := 1; i < hosts; i++ {
+		p, err := traffic.NewPairLabeled(f.Node(i), nics[i], nics[0], cfg.Traffic, fmt.Sprintf("h%d", i))
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range p.ConnMetas() {
+			spine.AddConnection(m)
+		}
+		pairs = append(pairs, p)
+	}
+
+	return &Testbed{
+		Cfg: cfg, Opts: opts,
+		Sim: f.Node(0), Switch: spine, Pool: pool,
+		Ports: ports, INT: col,
+		Fabric: f, Pairs: pairs,
+		Senders: nics[1:], Recv: nics[0], Leaves: leaves,
+		ctl: ctl, hubs: hubs, covs: covs,
+	}, nil
+}
+
+// trafficFinished reports whether every traffic generator completed.
+func (tb *Testbed) trafficFinished() bool {
+	if tb.Pair != nil {
+		return tb.Pair.Finished()
+	}
+	for _, p := range tb.Pairs {
+		if !p.Finished() {
+			return false
+		}
+	}
+	return true
+}
+
+// trafficResults snapshots the (merged) traffic results: pair runs
+// return the single pair's snapshot; fabric runs concatenate per-sender
+// snapshots in sender order, reindexing connections.
+func (tb *Testbed) trafficResults() *traffic.Results {
+	if tb.Pair != nil {
+		return tb.Pair.Snapshot()
+	}
+	out := &traffic.Results{}
+	for _, p := range tb.Pairs {
+		r := p.Snapshot()
+		for _, c := range r.Conns {
+			c.Index = len(out.Conns)
+			out.Conns = append(out.Conns, c)
+		}
+		if out.Start == 0 || (r.Start != 0 && r.Start < out.Start) {
+			out.Start = r.Start
+		}
+		if r.End > out.End {
+			out.End = r.End
+		}
+	}
+	return out
+}
+
+// sumCounters folds NIC counter snapshots (order-independent).
+func sumCounters(nics []*rnic.NIC) map[string]uint64 {
+	out := map[string]uint64{}
+	for _, n := range nics {
+		for k, v := range n.Counters.Snapshot() {
+			out[k] += v
+		}
+	}
+	return out
+}
+
+// spliceEvents assembles the canonical probe stream of a sharded run:
+// the control hub's serial prefix (build + traffic start), the merged
+// run-phase shard streams split around the drain marker at the
+// deadline boundary, and the control hub's teardown suffix. The result
+// is the stream an inline run records, in the same order.
+func (tb *Testbed) spliceEvents() []telemetry.Event {
+	if tb.ctl == nil {
+		return nil
+	}
+	streams := make([][]telemetry.Event, len(tb.hubs))
+	for i, h := range tb.hubs {
+		streams[i] = h.Events()
+	}
+	merged := telemetry.MergeEvents(streams...)
+	// Events after the deadline fired during the trailing drain, which
+	// the inline path runs after emitting the "drain" phase marker.
+	split := sort.Search(len(merged), func(i int) bool {
+		return merged[i].At > int64(tb.shardRunDeadline)
+	})
+	evs := tb.ctl.Events()
+	out := make([]telemetry.Event, 0, len(evs)+len(merged))
+	out = append(out, evs[:tb.evPrefix]...)
+	out = append(out, merged[:split]...)
+	out = append(out, evs[tb.evPrefix:tb.evDrain]...)
+	out = append(out, merged[split:]...)
+	out = append(out, evs[tb.evDrain:]...)
+	return out
+}
+
+// executeSharded is Execute over a sharded testbed: serial phases
+// bracket the conservative-window run, and every artifact merges
+// deterministically (see the package comment above).
+func (tb *Testbed) executeSharded() (*Report, error) {
+	f := tb.Fabric
+	ctl := tb.ctl
+	ctl.Emit(telemetry.KindRunPhase, "orchestrator", "traffic")
+	if tb.Pair != nil {
+		if err := tb.Pair.Start(nil); err != nil {
+			return nil, err
+		}
+	} else {
+		for _, p := range tb.Pairs {
+			if err := p.Start(nil); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Run phase: shard hubs record locally; merged afterwards.
+	tb.evPrefix = len(ctl.Events())
+	for _, h := range tb.hubs {
+		h.SetSink(nil)
+	}
+	deadline := sim.Time(tb.Opts.Deadline)
+	tb.shardRunDeadline = deadline
+	f.DrainUntil(deadline)
+	timedOut := !tb.trafficFinished()
+	tb.evDrain = tb.evPrefix
+	if !timedOut {
+		ctl.Emit(telemetry.KindRunPhase, "orchestrator", "drain")
+		tb.evDrain = len(ctl.Events())
+		f.Run()
+	}
+	f.AlignClocks()
+
+	// Teardown is serial again: shard emissions flow to the control hub
+	// in call order.
+	for _, h := range tb.hubs {
+		h.SetSink(ctl)
+	}
+	ctl.Emit(telemetry.KindRunPhase, "orchestrator", "terminate")
+	records := tb.Pool.Terminate()
+	tr, err := trace.Reconstruct(records)
+	if err != nil {
+		return nil, fmt.Errorf("orchestrator: trace reconstruction: %w", err)
+	}
+
+	rep := &Report{
+		Config:        tb.Cfg,
+		Traffic:       tb.trafficResults(),
+		SwitchTotals:  tb.Switch.Totals(),
+		SwitchPerPort: tb.Switch.PerPort(),
+		TimedOut:      timedOut,
+		DurationNs:    f.Now(),
+		Trace:         tr,
+	}
+	if tb.Pair != nil {
+		rep.RequesterCounters = tb.ReqNIC.Counters.Snapshot()
+		rep.ResponderCounters = tb.RespNIC.Counters.Snapshot()
+	} else {
+		rep.RequesterCounters = sumCounters(tb.Senders)
+		rep.ResponderCounters = tb.Recv.Counters.Snapshot()
+	}
+	for _, n := range tb.Pool.Nodes {
+		rep.DumperStats = append(rep.DumperStats, DumperStat{
+			Node: n.Index, Rx: n.RxPackets, Discards: n.RxDiscards, Captured: n.Captured,
+		})
+	}
+	if tb.Cfg.Switch.Mirror {
+		err := tr.IntegrityCheck(tb.Switch.MirrorCount(), tb.Switch.Totals().RxRoCE)
+		rep.IntegrityOK = err == nil
+		if err != nil {
+			rep.IntegrityDetail = err.Error()
+		}
+	} else {
+		rep.IntegrityOK = true
+		rep.IntegrityDetail = "mirroring disabled; no trace collected"
+	}
+	if tb.Opts.Lineage {
+		rep.Lineage = lineage.Build(tr, tb.spliceEvents())
+		rep.Verdicts = analyzer.Verdicts(tr, rep.Lineage)
+		for _, v := range rep.Verdicts {
+			result := "pass"
+			if !v.Pass {
+				result = "fail"
+			}
+			ctl.EmitArgs(telemetry.KindVerdict, "orchestrator", v.Analyzer,
+				telemetry.S("result", result),
+				telemetry.S("reason", v.Reason))
+		}
+	}
+	if tb.INT != nil {
+		rep.INT = tb.buildINTReport(rep, ctl)
+	}
+	if len(tb.covs) > 0 {
+		var covRep *coverage.Report
+		for _, m := range tb.covs {
+			covRep = coverage.MergeReports(covRep, m.Report())
+		}
+		if ctl.Active() {
+			ctl.Count("coverage.pairs", int64(covRep.Covered))
+		}
+		rep.Coverage = covRep
+	}
+	if ctl.Active() {
+		now := int64(f.Now())
+		for _, p := range tb.Ports {
+			ctl.SetGauge("port."+p.Name+".max_queue_bytes", p.MaxQueue)
+			util := int64(0)
+			if now > 0 {
+				util = int64(p.Busy) * 1000 / now
+				if util > 1000 {
+					util = 1000
+				}
+			}
+			ctl.SetGauge("port."+p.Name+".util_permille", util)
+		}
+		for _, h := range tb.hubs {
+			h.Registry().MergeInto(ctl.Registry())
+		}
+		rep.Metrics = ctl.Snapshot()
+		rep.Events = tb.spliceEvents()
+	}
+	return rep, nil
+}

@@ -25,9 +25,11 @@ var workloads = map[string]workloadFn{
 	"packet_decode_into": packetDecodeInto,
 	"packet_icrc":        packetICRC,
 	"sim_events":         simEvents,
+	"event_batch":        eventBatch,
 	"int_stamp":          intStamp,
 	"coverage_record":    coverageRecord,
 	"end_to_end_run":     endToEndRun,
+	"fabric_incast":      fabricIncast,
 }
 
 // samplePacket is a representative mid-message Write data packet: the
@@ -95,6 +97,29 @@ func simEvents() (int, func()) {
 	}
 }
 
+// eventBatch is the bursty event-loop case the batch drain optimizes:
+// a run of events sharing one timestamp (an incast wave, a fan-out of
+// link deliveries) popped as a whole before any callback executes —
+// one heap sift per event instead of a pop/execute interleave. With
+// the freelist and the reused batch buffer this is allocation-free
+// once warm.
+func eventBatch() (int, func()) {
+	s := sim.New(1)
+	fn := func() {}
+	const burst = 64
+	// Warm the freelist and the batch buffer to burst size.
+	for i := 0; i < burst; i++ {
+		s.After(1, fn)
+	}
+	s.Run()
+	return 2000, func() {
+		for i := 0; i < burst; i++ {
+			s.After(1, fn)
+		}
+		s.Run()
+	}
+}
+
 // intStamp is the in-band telemetry hot path: an origin hop tags and
 // stamps a RoCE packet, a transit hop resolves the tag and restamps,
 // and the compact stamp is decoded back — the per-packet cost of an
@@ -152,6 +177,30 @@ func endToEndRun() (int, func()) {
 		}
 		if !rep.IntegrityOK {
 			panic("perfgate: end_to_end_run integrity check failed: " + rep.IntegrityDetail)
+		}
+	}
+}
+
+// fabricIncast is one complete sharded fabric run: an 8-host 2-leaf /
+// 1-spine incast (7 senders × 2 QPs into host 0) built as a per-node
+// fabric of event-loop shards synchronized by conservative lookahead.
+// Its budget bounds the whole sharding machinery — envelope pools,
+// window barriers, outbox sweeps — per orchestrated run.
+func fabricIncast() (int, func()) {
+	cfg := config.Default()
+	cfg.Fabric = &config.FabricTopo{Leaves: 2, HostsPerLeaf: 4, UplinkGbps: 400, Pattern: "incast"}
+	cfg.Traffic.NumConnections = 2
+	cfg.Traffic.NumMsgsPerQP = 2
+	cfg.Traffic.Events = nil
+	opts := orchestrator.DefaultOptions()
+	opts.Shards = 4
+	return 4, func() {
+		rep, err := orchestrator.Run(cfg, opts)
+		if err != nil {
+			panic(err)
+		}
+		if !rep.IntegrityOK {
+			panic("perfgate: fabric_incast integrity check failed: " + rep.IntegrityDetail)
 		}
 	}
 }

@@ -1,0 +1,125 @@
+package sim
+
+import "testing"
+
+// TestSendRecycleShardSafety pins the SendRecycle ownership contract
+// the sharded fabric relies on: a pooled frame buffer never crosses
+// shard ownership. Cross-shard, the frame is copied into a
+// fabric-owned transfer buffer and recycle(data) runs synchronously
+// inside the sender's Send call; the receiving shard sees a slice with
+// different backing storage. Intra-shard, delivery aliases the
+// sender's buffer and recycle runs after the receive handler.
+func TestSendRecycleShardSafety(t *testing.T) {
+	f := NewFabric(1, 2, 2)
+	a, b := f.Connect(0, 1, "a", "b", 100, 500)
+
+	buf := make([]byte, 64)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+
+	var got []byte
+	b.SetReceiver(func(data []byte) {
+		got = append([]byte(nil), data...)
+		if &data[0] == &buf[0] {
+			t.Error("cross-shard delivery aliased the sender's pooled buffer")
+		}
+	})
+
+	recycled := false
+	a.SendRecycle(buf, func(data []byte) {
+		if &data[0] != &buf[0] {
+			t.Error("recycle invoked with a different buffer than was sent")
+		}
+		recycled = true
+	})
+	if !recycled {
+		t.Fatal("cross-shard SendRecycle must invoke recycle synchronously, on the sending shard")
+	}
+	// The sender may reuse the buffer immediately; the copy in flight
+	// must be unaffected.
+	for i := range buf {
+		buf[i] = 0xFF
+	}
+
+	f.Run()
+	if len(got) != 64 || got[0] != 0 || got[63] != 63 {
+		t.Fatalf("receiver saw corrupted frame: len=%d got[0]=%d got[63]=%d", len(got), got[0], got[63])
+	}
+
+	// Intra-shard (same node): zero-copy aliasing, recycle after receive.
+	s := f.Node(0)
+	c, d := Connect(s, "c", "d", 100, 0)
+	recycled = false
+	d.SetReceiver(func(data []byte) {
+		if &data[0] != &buf[0] {
+			t.Error("intra-shard delivery should alias the sender's buffer")
+		}
+		if recycled {
+			t.Error("intra-shard recycle ran before the receive handler")
+		}
+	})
+	c.SendRecycle(buf, func(data []byte) { recycled = true })
+	f.Run()
+	if !recycled {
+		t.Fatal("intra-shard SendRecycle never invoked recycle")
+	}
+}
+
+// TestFabricMatchesSingleSimulator runs the same two-node ping-pong on
+// a 2-shard fabric and on one simulator and requires identical virtual
+// end times and event counts — the sharded loop is an implementation
+// detail, not a semantic change.
+func TestFabricMatchesSingleSimulator(t *testing.T) {
+	run := func(a, b *Port, drain func() Time) (Time, uint64) {
+		const rounds = 50
+		n := 0
+		b.SetReceiver(func(data []byte) { b.Send(append([]byte(nil), data...)) })
+		a.SetReceiver(func(data []byte) {
+			n++
+			if n < rounds {
+				a.Send(append([]byte(nil), data...))
+			}
+		})
+		a.Send(make([]byte, 1000))
+		return drain(), uint64(n)
+	}
+
+	f := NewFabric(7, 2, 2)
+	fa, fb := f.Connect(0, 1, "a", "b", 100, 700)
+	fEnd, fRounds := run(fa, fb, f.Run)
+
+	s := New(7)
+	sa, sb := Connect(s, "a", "b", 100, 700)
+	sEnd, sRounds := run(sa, sb, s.Run)
+
+	if fEnd != sEnd || fRounds != sRounds {
+		t.Fatalf("fabric (end=%v rounds=%d) diverged from single simulator (end=%v rounds=%d)",
+			fEnd, fRounds, sEnd, sRounds)
+	}
+	if f.PendingMessages() != 0 {
+		t.Fatalf("fabric drained with %d undelivered cross-shard messages", f.PendingMessages())
+	}
+}
+
+// BenchmarkEventBatch measures draining a 64-event same-timestamp
+// burst — the shape the batch executor optimizes (one heap sift per
+// event, callbacks run after the whole run is popped). Allocation-free
+// at steady state; the perfgate workload event_batch budgets it.
+func BenchmarkEventBatch(b *testing.B) {
+	s := New(1)
+	fn := func() {}
+	const burst = 64
+	for i := 0; i < burst; i++ {
+		s.After(1, fn)
+	}
+	s.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < burst; j++ {
+			s.After(1, fn)
+		}
+		s.Run()
+	}
+}

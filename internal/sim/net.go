@@ -13,6 +13,10 @@ type Port struct {
 	link *Link
 	peer *Port
 	recv func(data []byte)
+	// ord is the port's creation ordinal within its fabric (zero for
+	// ports of a standalone simulator); it canonicalizes the delivery
+	// order of cross-shard messages arriving at the same instant.
+	ord int
 
 	// txFreeAt is the instant the transmitter finishes serializing the
 	// last queued frame; it implements an infinite FIFO output queue.
@@ -69,6 +73,14 @@ func (p *Port) Send(data []byte) { p.send(data, nil) }
 // buffer can be reused. The receiver must therefore not retain the slice
 // beyond its handler (it may copy what it needs) — which is exactly the
 // contract the dumper path honors by trimming into its own storage.
+//
+// Shard-safety contract: recycle always runs on the sending port's own
+// shard, and the recycled buffer never crosses shard ownership. On an
+// intra-shard link recycle runs after the peer's handler, as above; on a
+// cross-shard link the frame is copied into a fabric-owned transfer
+// buffer at enqueue time and recycle(data) is invoked immediately, still
+// inside the sender's Send call. Callers may thus keep a plain,
+// unsynchronized free list keyed to the component that owns the port.
 func (p *Port) SendRecycle(data []byte, recycle func([]byte)) { p.send(data, recycle) }
 
 func (p *Port) send(data []byte, recycle func([]byte)) {
@@ -100,6 +112,16 @@ func (p *Port) send(data []byte, recycle func([]byte)) {
 	arrive := done.Add(p.link.Propagation)
 	n := int64(len(data))
 	s.At(done, func() { p.QueueBytes -= n })
+	if peer.sim != s {
+		// Cross-shard link: the arrival becomes a timestamped message
+		// the fabric delivers into the peer's shard at the next safe
+		// horizon. When the caller pools its buffer (SendRecycle), the
+		// frame is copied into a fabric-owned buffer and recycle(data)
+		// runs right here, on the sending shard — a pooled buffer never
+		// crosses shard ownership (see Fabric and TestSendRecycleShardSafety).
+		s.fabric.post(p, data, recycle, now, arrive)
+		return
+	}
 	s.At(arrive, func() {
 		peer.RxFrames++
 		peer.RxBytes += uint64(len(data))

@@ -70,10 +70,18 @@ func (d Duration) Microseconds() float64 { return float64(d) / float64(Microseco
 // EventRefs held by components can never cancel a later occupant of the
 // same struct.
 type event struct {
-	at   Time
-	seq  uint64 // tie-breaker: FIFO among events at the same instant
-	fn   func()
-	idx  int    // heap index, -1 once popped or cancelled
+	at Time
+	// schedAt is the instant the event was scheduled. For a single
+	// simulator, ordering by (at, schedAt, seq) is identical to
+	// (at, seq) — schedAt is nondecreasing in seq — but it lets a
+	// sharded fabric inject cross-shard arrivals with the sender's
+	// scheduling instant, reproducing the global scheduling order a
+	// single shared heap would have had (see fabric.go).
+	schedAt Time
+	seq     uint64 // tie-breaker: FIFO among events at the same instant
+	fn      func()
+	idx     int // heap index; -1 once popped or cancelled, -2 while
+	// buffered in a same-timestamp batch (see stepBatch)
 	gen  uint64 // incremented every time the struct is recycled
 	dead bool
 }
@@ -102,6 +110,9 @@ type eventHeap []*event
 func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
+	}
+	if h[i].schedAt != h[j].schedAt {
+		return h[i].schedAt < h[j].schedAt
 	}
 	return h[i].seq < h[j].seq
 }
@@ -209,6 +220,21 @@ type Simulator struct {
 	// default) makes every Record call a nil-receiver no-op. Coverage
 	// shares telemetry's observe-only contract.
 	cov *coverage.Map
+
+	// batch is the same-timestamp run buffer stepBatch drains into —
+	// reused across batches so steady state allocates nothing.
+	batch []*event
+
+	// curSched is the scheduling instant of the event currently
+	// executing — exported to telemetry as the probe-stream merge key
+	// (see telemetry.Hub.SetSchedClock).
+	curSched Time
+
+	// fabric is non-nil when this simulator is one shard of a Fabric;
+	// Ports use it to route cross-shard sends (see fabric.go).
+	fabric *Fabric
+	// shard is this simulator's index within its fabric.
+	shard int
 }
 
 // New creates a simulator whose RNG is seeded with seed. Two simulators
@@ -227,6 +253,7 @@ func (s *Simulator) Now() Time { return s.now }
 func (s *Simulator) AttachHub(h *telemetry.Hub) {
 	s.hub = h
 	h.SetClock(func() int64 { return int64(s.now) })
+	h.SetSchedClock(func() int64 { return int64(s.curSched) })
 }
 
 // Hub returns the attached telemetry hub, nil when none is attached.
@@ -256,6 +283,14 @@ func (s *Simulator) Executed() uint64 { return s.executed }
 // At schedules fn to run at the absolute instant at. Scheduling in the
 // past (before Now) panics: it would corrupt causality.
 func (s *Simulator) At(at Time, fn func()) EventRef {
+	return s.atSched(at, s.now, fn)
+}
+
+// atSched schedules fn at the instant at, carrying an explicit
+// scheduling stamp. The fabric uses it to inject cross-shard arrivals
+// stamped with the sender's clock, so same-instant ordering matches
+// the global scheduling order of an unsharded run.
+func (s *Simulator) atSched(at, schedAt Time, fn func()) EventRef {
 	if at < s.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, s.now))
 	}
@@ -264,9 +299,9 @@ func (s *Simulator) At(at Time, fn func()) EventRef {
 		ev = s.free[n-1]
 		s.free[n-1] = nil
 		s.free = s.free[:n-1]
-		ev.at, ev.seq, ev.fn, ev.dead = at, s.nextSeq, fn, false
+		ev.at, ev.schedAt, ev.seq, ev.fn, ev.dead = at, schedAt, s.nextSeq, fn, false
 	} else {
-		ev = &event{at: at, seq: s.nextSeq, fn: fn}
+		ev = &event{at: at, schedAt: schedAt, seq: s.nextSeq, fn: fn}
 	}
 	s.nextSeq++
 	s.queue.push(ev)
@@ -292,10 +327,20 @@ func (s *Simulator) After(d Duration, fn func()) EventRef {
 
 // Cancel removes a scheduled event. Cancelling an already-fired or
 // already-cancelled event is a no-op. Reports whether the event was
-// actually removed.
+// actually removed. An event buffered by the same-timestamp batch
+// drain (idx == -2) is still cancellable — it has not fired yet — but
+// its struct is recycled by the batch executor, not here.
 func (s *Simulator) Cancel(r EventRef) bool {
 	ev := r.ev
-	if ev == nil || ev.gen != r.gen || ev.dead || ev.idx < 0 {
+	if ev == nil || ev.gen != r.gen || ev.dead {
+		return false
+	}
+	if ev.idx == -2 {
+		ev.dead = true
+		s.cancelled++
+		return true
+	}
+	if ev.idx < 0 {
 		return false
 	}
 	ev.dead = true
@@ -315,10 +360,53 @@ func (s *Simulator) Step() bool {
 	ev := s.queue.pop()
 	ev.dead = true
 	s.now = ev.at
+	s.curSched = ev.schedAt
 	s.executed++
 	fn := ev.fn
 	s.recycle(ev)
 	fn()
+	return true
+}
+
+// stepBatch fires the entire run of events sharing the earliest pending
+// timestamp, popping the whole run from the heap before executing any
+// of it — one heap sift per event instead of interleaving pops with
+// callback execution. Events the callbacks schedule at the same instant
+// carry higher sequence numbers than everything buffered, so re-looping
+// after the buffer drains preserves exact FIFO order. Buffered events
+// keep idx == -2 and dead == false until they fire, so Cancel and
+// EventRef.Cancelled see them exactly as if they were still queued.
+// It reports false when the queue is empty.
+func (s *Simulator) stepBatch() bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	t := s.queue[0].at
+	s.now = t
+	for len(s.queue) > 0 && s.queue[0].at == t {
+		b := s.batch[:0]
+		for len(s.queue) > 0 && s.queue[0].at == t {
+			ev := s.queue.pop()
+			ev.idx = -2
+			b = append(b, ev)
+		}
+		s.batch = b
+		for i, ev := range b {
+			b[i] = nil
+			if ev.dead {
+				// Cancelled while buffered: Cancel already counted it
+				// and deferred the recycle to us.
+				s.recycle(ev)
+				continue
+			}
+			ev.dead = true
+			s.curSched = ev.schedAt
+			s.executed++
+			fn := ev.fn
+			s.recycle(ev)
+			fn()
+		}
+	}
 	return true
 }
 
@@ -327,7 +415,7 @@ func (s *Simulator) Step() bool {
 func (s *Simulator) Run() Time {
 	s.running = true
 	defer func() { s.running = false }()
-	for s.Step() {
+	for s.stepBatch() {
 	}
 	return s.now
 }
@@ -342,7 +430,7 @@ func (s *Simulator) RunUntil(deadline Time) {
 		if s.queue[0].at > deadline {
 			break
 		}
-		s.Step()
+		s.stepBatch()
 	}
 	if s.now < deadline {
 		s.now = deadline
@@ -369,7 +457,7 @@ func (s *Simulator) DrainUntil(deadline Time) {
 		if !ok || at > deadline {
 			return
 		}
-		s.Step()
+		s.stepBatch()
 	}
 }
 

@@ -184,6 +184,15 @@ func parseVerbCombo(spec string) ([]rnic.Verb, error) {
 // NewPair creates the generator pair and performs QP setup and metadata
 // exchange (but does not start traffic).
 func NewPair(s *sim.Simulator, req, resp *rnic.NIC, cfg config.Traffic) (*Pair, error) {
+	return NewPairLabeled(s, req, resp, cfg, "")
+}
+
+// NewPairLabeled is NewPair with a telemetry label distinguishing this
+// pair's probe tracks from other pairs sharing one hub — fabric runs
+// create one pair per sender. An empty label keeps the classic
+// "traffic/conn-<i>" names; otherwise tracks are
+// "traffic/<label>/conn-<i>".
+func NewPairLabeled(s *sim.Simulator, req, resp *rnic.NIC, cfg config.Traffic, label string) (*Pair, error) {
 	verbs, err := parseVerbCombo(cfg.Verb)
 	if err != nil {
 		return nil, err
@@ -213,7 +222,11 @@ func NewPair(s *sim.Simulator, req, resp *rnic.NIC, cfg config.Traffic) (*Pair, 
 		sq.Connect(rq.Local())
 		mr := resp.RegisterMR(cfg.MessageSize * cfg.NumMsgsPerQP)
 		c := &conn{reqQP: rq, respQP: sq, mr: mr}
-		c.track = fmt.Sprintf("traffic/conn-%d", i)
+		if label == "" {
+			c.track = fmt.Sprintf("traffic/conn-%d", i)
+		} else {
+			c.track = fmt.Sprintf("traffic/%s/conn-%d", label, i)
+		}
 		c.stats = ConnStats{
 			Index: i, ReqQPN: rq.QPN, RespQPN: sq.QPN,
 			Statuses: map[string]int{},
