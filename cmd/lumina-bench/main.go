@@ -7,7 +7,7 @@
 //	lumina-bench -run fig8        # one experiment: fig7|fig8|fig9|fig10|
 //	                              # fig11|table2|interop|cnp-interval|
 //	                              # cnp-scope|adaptive|dumper-lb|overhead|
-//	                              # ablation
+//	                              # ablation|cache
 //	lumina-bench -msgs 200        # Figure 7 message count (default 1000)
 //	lumina-bench -workers 4       # engine worker-pool size; the measured
 //	                              # rows are identical for every value
@@ -20,6 +20,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -30,9 +31,12 @@ import (
 	"time"
 
 	"github.com/lumina-sim/lumina/internal/config"
+	"github.com/lumina-sim/lumina/internal/corpus"
 	"github.com/lumina-sim/lumina/internal/experiments"
 	"github.com/lumina-sim/lumina/internal/perfgate"
+	"github.com/lumina-sim/lumina/internal/resultcache"
 	"github.com/lumina-sim/lumina/internal/rnic"
+	"github.com/lumina-sim/lumina/internal/version"
 )
 
 func main() {
@@ -44,7 +48,14 @@ func main() {
 	jsonOut := flag.Bool("json", false, "also write BENCH_<name>.json per experiment (measured rows + wall time + seed + workers)")
 	jsonDir := flag.String("json-dir", ".", "directory for -json output files")
 	gate := flag.Bool("gate", false, "after experiments, measure the perfgate workloads and exit non-zero on any busted allocation budget")
+	corpusDir := flag.String("corpus", "corpus", "corpus directory replayed by the cache experiment")
+	showVersion := flag.Bool("version", false, "print the build stamp and exit")
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Println("lumina-bench", version.String())
+		return
+	}
 
 	experiments.SetWorkers(*workers)
 	effWorkers := *workers
@@ -208,6 +219,9 @@ func main() {
 		}
 		return []*experiments.Table{experiments.AblationTable(pts)}, nil
 	})
+	section("cache", func() ([]*experiments.Table, error) {
+		return cacheExperiment(*corpusDir, *workers)
+	})
 
 	if ran == 0 && !*gate {
 		fmt.Fprintf(os.Stderr, "no experiment matches %q\n", *runSel)
@@ -217,6 +231,62 @@ func main() {
 	if *gate {
 		runGate(*jsonOut, *jsonDir)
 	}
+}
+
+// cacheExperiment measures what the result cache buys a corpus replay:
+// the same full matrix replayed twice against a fresh cache — cold
+// (every cell simulates and populates the cache) then warm (every cell
+// answers from disk, zero simulations). The hits/misses/pass columns
+// are deterministic; the wall columns are machine-dependent and
+// excluded from any byte-stability expectations.
+func cacheExperiment(corpusDir string, workers int) ([]*experiments.Table, error) {
+	dir, err := os.MkdirTemp("", "lumina-bench-cache-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	cache, err := resultcache.Open(dir, 0)
+	if err != nil {
+		return nil, err
+	}
+	replay := func() (time.Duration, *corpus.Matrix, error) {
+		start := time.Now()
+		m, err := corpus.Replay(context.Background(), corpusDir,
+			corpus.ReplayOptions{Workers: workers, Cache: cache})
+		return time.Since(start), m, err
+	}
+	row := func(phase string, wall time.Duration, m *corpus.Matrix, prev resultcache.Stats) []string {
+		st := cache.Stats()
+		cells := len(m.Rows) * len(m.Profiles)
+		return []string{
+			phase,
+			fmt.Sprintf("%.1f", float64(wall.Microseconds())/1000),
+			fmt.Sprintf("%d", cells),
+			fmt.Sprintf("%d", cells-m.Drift()),
+			fmt.Sprintf("%d", st.Hits-prev.Hits),
+			fmt.Sprintf("%d", st.Misses-prev.Misses),
+			fmt.Sprintf("%d", st.Puts-prev.Puts),
+		}
+	}
+	var st resultcache.Stats
+	coldWall, coldM, err := replay()
+	if err != nil {
+		return nil, err
+	}
+	coldRow := row("cold", coldWall, coldM, st)
+	st = cache.Stats()
+	warmWall, warmM, err := replay()
+	if err != nil {
+		return nil, err
+	}
+	warmRow := row("warm", warmWall, warmM, st)
+	fmt.Printf("cache: warm replay speedup %.1fx (%v -> %v)\n",
+		float64(coldWall)/float64(warmWall), coldWall.Round(time.Millisecond), warmWall.Round(time.Millisecond))
+	return []*experiments.Table{{
+		Title:   "Result cache: corpus replay, cold vs warm (wall_ms is machine-dependent)",
+		Columns: []string{"phase", "wall_ms", "cells", "pass", "hits", "misses", "sims"},
+		Rows:    [][]string{coldRow, warmRow},
+	}}, nil
 }
 
 // runGate measures every perfgate workload against the checked-in

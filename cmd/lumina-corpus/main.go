@@ -9,6 +9,7 @@
 //	lumina-corpus minimize [-workers N] [-out file] cfg.yaml
 //	lumina-corpus replay  [-corpus dir] [-profiles cx4,cx5,...] [-workers N]
 //	                      [-int] [-coverage] [-artifacts dir]
+//	                      [-cache dir] [-cache-max-mb N]
 //	lumina-corpus coverage [-corpus dir] [-profiles cx4,cx5,...] [-workers N]
 //	                      [-out frontier.json]
 //	lumina-corpus list    [-corpus dir] [-coverage] [-workers N]
@@ -32,7 +33,9 @@ import (
 	"github.com/lumina-sim/lumina/internal/config"
 	"github.com/lumina-sim/lumina/internal/corpus"
 	"github.com/lumina-sim/lumina/internal/minimize"
+	"github.com/lumina-sim/lumina/internal/resultcache"
 	"github.com/lumina-sim/lumina/internal/rnic"
+	"github.com/lumina-sim/lumina/internal/version"
 )
 
 func main() {
@@ -52,6 +55,9 @@ func main() {
 		err = cmdCoverage(os.Args[2:])
 	case "list":
 		err = cmdList(os.Args[2:])
+	case "-version", "--version", "version":
+		fmt.Println("lumina-corpus", version.String())
+		return
 	case "-h", "-help", "--help", "help":
 		usage()
 		return
@@ -70,7 +76,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   lumina-corpus add      [-corpus dir] [-minimize] [-workers N] cfg.yaml...
   lumina-corpus minimize [-workers N] [-out file] cfg.yaml
-  lumina-corpus replay   [-corpus dir] [-profiles cx4,cx5,...] [-workers N] [-int] [-coverage] [-artifacts dir]
+  lumina-corpus replay   [-corpus dir] [-profiles cx4,cx5,...] [-workers N] [-int] [-coverage] [-artifacts dir] [-cache dir] [-cache-max-mb N]
   lumina-corpus coverage [-corpus dir] [-profiles cx4,cx5,...] [-workers N] [-out frontier.json]
   lumina-corpus list     [-corpus dir] [-coverage] [-workers N]`)
 }
@@ -185,19 +191,32 @@ func cmdReplay(args []string) error {
 	covFlag := fs.Bool("coverage", false, "replay with behavioral coverage enabled (observe-only, like -int) and report per-profile frontiers")
 	artifacts := fs.String("artifacts", "", "write each cell's summary.json (and int.json with -int, coverage.json with -coverage) under this directory for byte-level diffing")
 	shards := fs.Int("shards", 1, "event-loop shards per cell: >1 partitions the simulation per node (artifact-preserving; cells still judge against shards=1 goldens)")
+	cacheDir := fs.String("cache", "", "result-cache directory: cells already cached for this build skip simulation; fresh cells are cached for the next replay")
+	cacheMaxMB := fs.Int64("cache-max-mb", 0, "evict least-recently-used cache entries beyond this size (0 = unbounded)")
 	fs.Parse(args)
 	profiles, err := parseProfiles(*profCSV)
 	if err != nil {
 		return err
 	}
+	var cache *resultcache.Cache
+	if *cacheDir != "" {
+		if cache, err = resultcache.Open(*cacheDir, *cacheMaxMB<<20); err != nil {
+			return err
+		}
+	}
 	m, err := corpus.Replay(context.Background(), *dir,
 		corpus.ReplayOptions{Profiles: profiles, Workers: *workers,
-			INT: *intFlag, Coverage: *covFlag, ArtifactsDir: *artifacts, Shards: *shards})
+			INT: *intFlag, Coverage: *covFlag, ArtifactsDir: *artifacts, Shards: *shards, Cache: cache})
 	if err != nil {
 		return err
 	}
 	if err := m.Render(os.Stdout); err != nil {
 		return err
+	}
+	if cache != nil {
+		st := cache.Stats()
+		fmt.Printf("cache: %d hit(s), %d miss(es), %d entr%s (%d bytes)\n",
+			st.Hits, st.Misses, st.Entries, plural(st.Entries), st.Bytes)
 	}
 	if m.Coverage != nil {
 		renderFrontier(m)

@@ -33,6 +33,7 @@ import (
 	"github.com/lumina-sim/lumina/internal/minimize"
 	"github.com/lumina-sim/lumina/internal/orchestrator"
 	"github.com/lumina-sim/lumina/internal/sim"
+	"github.com/lumina-sim/lumina/internal/version"
 )
 
 func main() {
@@ -47,7 +48,13 @@ func main() {
 	findingsPath := flag.String("findings", "findings.json", "write all findings as JSON here ('' disables); long runs are not lossy on scrollback")
 	corpusDir := flag.String("corpus", "", "regression corpus directory: minimize each finding and admit it (dedup by content hash); new-coverage seeds are admitted unminimized")
 	coverage := flag.Bool("coverage", true, "coverage-guided search: keep mutants that cover new (site, transition) pairs")
+	showVersion := flag.Bool("version", false, "print the build stamp and exit")
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Println("lumina-fuzz", version.String())
+		return
+	}
 
 	var target fuzz.Target
 	switch *targetName {

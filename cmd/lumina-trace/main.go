@@ -57,6 +57,7 @@ import (
 	"github.com/lumina-sim/lumina/internal/orchestrator"
 	"github.com/lumina-sim/lumina/internal/telemetry"
 	"github.com/lumina-sim/lumina/internal/trace"
+	"github.com/lumina-sim/lumina/internal/version"
 )
 
 func main() {
@@ -73,6 +74,9 @@ func main() {
 			return
 		case "coverage":
 			coverageCmd(os.Args[2:])
+			return
+		case "-version", "--version", "version":
+			fmt.Println("lumina-trace", version.String())
 			return
 		}
 	}

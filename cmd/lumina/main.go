@@ -18,6 +18,7 @@ import (
 
 	lumina "github.com/lumina-sim/lumina"
 	"github.com/lumina-sim/lumina/internal/sim"
+	"github.com/lumina-sim/lumina/internal/version"
 )
 
 func main() {
@@ -30,8 +31,13 @@ func main() {
 	intFlag := flag.Bool("int", false, "enable in-band telemetry: per-hop INT stamping, joined to lineage chains (int.json with -out)")
 	covFlag := flag.Bool("coverage", false, "record behavioral coverage: FSM/match-action (site, transition) pairs (coverage.json with -out)")
 	shards := flag.Int("shards", 1, "event-loop shards: >1 partitions the simulation per node with conservative lookahead (artifacts stay byte-identical)")
+	showVersion := flag.Bool("version", false, "print the build stamp (also embedded in cache keys and summary.json) and exit")
 	flag.Parse()
 
+	if *showVersion {
+		fmt.Println("lumina", version.String())
+		return
+	}
 	if *cfgPath == "" {
 		fmt.Fprintln(os.Stderr, "usage: lumina -config test.yaml [-out dir]")
 		os.Exit(2)

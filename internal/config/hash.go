@@ -1,0 +1,29 @@
+package config
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// ContentHash computes a test configuration's canonical content
+// address: the SHA-256 of its canonical YAML rendering with the display
+// name cleared, truncated to 16 hex digits.
+//
+// This is THE scenario identity for the whole system — the corpus names
+// entry directories with it, the result cache uses it as the scenario
+// dimension of its key, and the serve daemon derives run IDs from it —
+// so it lives here, next to the canonical marshaller, and the three
+// consumers share one definition that cannot drift. Renaming a scenario
+// does not change its identity; everything behaviourally relevant
+// (seed, hosts, traffic, events, substrate, fabric topology) is
+// included via the deterministic marshaller.
+func ContentHash(t Test) (string, error) {
+	t.Name = ""
+	y, err := t.MarshalYAML()
+	if err != nil {
+		return "", fmt.Errorf("config: canonicalize: %w", err)
+	}
+	sum := sha256.Sum256(y)
+	return hex.EncodeToString(sum[:])[:16], nil
+}

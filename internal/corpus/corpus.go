@@ -30,8 +30,6 @@
 package corpus
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -47,20 +45,17 @@ import (
 // Schema versions expected.json; bump on incompatible layout changes.
 const Schema = "lumina-corpus/1"
 
-// ID computes a configuration's content address: the truncated SHA-256
-// of its canonical YAML rendering. The display name is excluded so
-// renaming a scenario does not change its identity; everything
-// behaviourally relevant (seed, hosts, traffic, events, substrate) is
-// included via the deterministic marshaller.
+// ID computes a configuration's content address. It is the canonical
+// scenario hash (config.ContentHash) — the same identity the result
+// cache and the serve daemon key on, so an entry directory name, a
+// cache key's scenario dimension and a served run ID can never drift
+// from one another.
 func ID(cfg config.Test) (string, error) {
-	c := cfg
-	c.Name = ""
-	y, err := c.MarshalYAML()
+	id, err := config.ContentHash(cfg)
 	if err != nil {
-		return "", fmt.Errorf("corpus: canonicalize: %w", err)
+		return "", fmt.Errorf("corpus: %w", err)
 	}
-	sum := sha256.Sum256(y)
-	return hex.EncodeToString(sum[:])[:16], nil
+	return id, nil
 }
 
 // ProfileExpectation is the golden behaviour of one entry under one NIC
@@ -155,12 +150,11 @@ func expectationOf(rep *orchestrator.Report) (ProfileExpectation, error) {
 	return exp, nil
 }
 
+// summaryDigest is the canonical (code_version-cleared) summary digest:
+// goldens identify behaviour, not builds, so the digest recorded at
+// admission still matches on any later checkout whose behaviour agrees.
 func summaryDigest(rep *orchestrator.Report) (string, error) {
-	h := sha256.New()
-	if err := rep.WriteSummary(h); err != nil {
-		return "", err
-	}
-	return hex.EncodeToString(h.Sum(nil)), nil
+	return rep.SummaryDigest()
 }
 
 // Add admits cfg into the corpus at dir, recording golden behaviour for

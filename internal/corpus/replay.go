@@ -13,8 +13,10 @@ import (
 	"github.com/lumina-sim/lumina/internal/coverage"
 	"github.com/lumina-sim/lumina/internal/engine"
 	"github.com/lumina-sim/lumina/internal/orchestrator"
+	"github.com/lumina-sim/lumina/internal/resultcache"
 	"github.com/lumina-sim/lumina/internal/sim"
 	"github.com/lumina-sim/lumina/internal/telemetry"
+	"github.com/lumina-sim/lumina/internal/version"
 )
 
 // Status classifies one (entry, profile) replay cell.
@@ -178,6 +180,14 @@ type ReplayOptions struct {
 	// recorded at shards=1 — a sharded replay that drifts has caught
 	// the partitioning perturbing the simulation.
 	Shards int
+	// Cache, when non-nil, is consulted before simulating each cell and
+	// populated after: a cell whose (entry, profile, options, code
+	// version) tuple is cached is judged — and its artifacts dumped —
+	// from the stored bytes without running anything, so a warm replay
+	// of an unchanged corpus on an unchanged build executes zero
+	// simulations. Cache writes are best-effort; a full disk never
+	// fails a replay.
+	Cache *resultcache.Cache
 }
 
 // Replay re-runs every corpus entry under every requested profile and
@@ -227,10 +237,19 @@ func Replay(ctx context.Context, dir string, opts ReplayOptions) (*Matrix, error
 	}
 
 	// Fan every runnable (entry, profile) cell out over the engine in
-	// row-major submission order.
+	// row-major submission order. Cells whose cache key hits are judged
+	// from the stored bytes and never become jobs: the entry ID is the
+	// scenario content hash (verified above), so the key names exactly
+	// the run the cell would perform.
 	type cellRef struct{ row, col int }
 	var jobs []engine.Job
 	var refs []cellRef
+	var keys []resultcache.Key
+	cells := make(map[cellRef]Cell)
+	if opts.Coverage {
+		m.Coverage = map[string]*coverage.Report{}
+	}
+	stamp := version.Stamp()
 	for i, st := range states {
 		if st.skip != Pass {
 			continue
@@ -241,21 +260,30 @@ func Replay(ctx context.Context, dir string, opts ReplayOptions) (*Matrix, error
 			if deadline <= 0 {
 				deadline = orchestrator.DefaultOptions().Deadline
 			}
+			cellOpts := orchestrator.Options{Deadline: deadline, Lineage: true, INT: opts.INT, Coverage: opts.Coverage, Shards: opts.Shards}
+			ref := cellRef{i, j}
+			var key resultcache.Key
+			if opts.Cache != nil {
+				key = resultcache.Key{Scenario: e.ID, Profile: p, Options: cellOpts.Fingerprint(), Version: stamp}
+				if arts, ok := opts.Cache.Get(key); ok {
+					if c, usable := replayFromCache(e, p, opts, m, arts); usable {
+						cells[ref] = c
+						continue
+					}
+				}
+			}
 			jobs = append(jobs, engine.Job{
 				Label: fmt.Sprintf("%s@%s", e.ID, p),
 				Cfg:   withProfile(e.Config, p),
-				Opts:  orchestrator.Options{Deadline: deadline, Lineage: true, INT: opts.INT, Coverage: opts.Coverage, Shards: opts.Shards},
+				Opts:  cellOpts,
 			})
-			refs = append(refs, cellRef{i, j})
+			refs = append(refs, ref)
+			keys = append(keys, key)
 		}
 	}
 	results := engine.Run(ctx, jobs, engine.Options{Workers: opts.Workers})
 
 	// Assemble rows in ID order, consuming results by submission index.
-	cells := make(map[cellRef]Cell)
-	if opts.Coverage {
-		m.Coverage = map[string]*coverage.Report{}
-	}
 	for k := range results {
 		ref := refs[k]
 		c := judge(states[ref.row].entry, opts.Profiles[ref.col], &results[k])
@@ -267,6 +295,13 @@ func Replay(ctx context.Context, dir string, opts ReplayOptions) (*Matrix, error
 		if m.Coverage != nil && results[k].Err == nil && results[k].Report != nil {
 			p := opts.Profiles[ref.col]
 			m.Coverage[p] = coverage.MergeReports(m.Coverage[p], results[k].Report.Coverage)
+		}
+		if opts.Cache != nil && results[k].Err == nil && results[k].Report != nil {
+			// Best-effort: a cache that cannot be written (full disk,
+			// permissions) degrades to cold replays, it never fails one.
+			if arts, err := resultcache.Render(results[k].Report); err == nil {
+				_ = opts.Cache.Put(keys[k], arts)
+			}
 		}
 		cells[ref] = c
 	}
@@ -338,11 +373,63 @@ func dumpCellArtifacts(dir string, res *engine.JobResult) error {
 	return nil
 }
 
+// replayFromCache judges one cell from its cached artifact set and
+// performs the side-effects a fresh run would have (artifact dump,
+// coverage merge). usable=false sends the cell to the engine instead —
+// the cached entry predates the current result schema or is missing an
+// artifact the replay needs, so it will be re-run and re-put.
+func replayFromCache(e *Entry, profile string, opts ReplayOptions, m *Matrix, arts map[string][]byte) (c Cell, usable bool) {
+	res, err := resultcache.ParseResult(arts[resultcache.ResultName])
+	if err != nil {
+		return Cell{}, false
+	}
+	var cov *coverage.Report
+	if m.Coverage != nil {
+		if cov, err = coverage.ReadReport(arts["coverage.json"]); err != nil {
+			return Cell{}, false
+		}
+	}
+	got := ProfileExpectation{
+		Verdicts:      res.Verdicts,
+		TimedOut:      res.TimedOut,
+		SummarySHA256: res.SummarySHA256,
+	}
+	c = judgeExpectation(e, profile, got)
+	if opts.ArtifactsDir != "" {
+		if err := dumpCachedArtifacts(opts.ArtifactsDir, e.ID, profile, arts); err != nil && c.Status == Pass {
+			c.Status, c.Detail = Error, err.Error()
+		}
+	}
+	if m.Coverage != nil {
+		m.Coverage[profile] = coverage.MergeReports(m.Coverage[profile], cov)
+	}
+	return c, true
+}
+
+// dumpCachedArtifacts mirrors dumpCellArtifacts for a cache hit: the
+// stored bytes were rendered by the same writers a fresh run uses, so
+// the dumped tree is byte-identical to a cold replay's.
+func dumpCachedArtifacts(dir, entry, profile string, arts map[string][]byte) error {
+	cellDir := filepath.Join(dir, entry, profile)
+	if err := os.MkdirAll(cellDir, 0o755); err != nil {
+		return err
+	}
+	for _, name := range []string{"summary.json", "int.json", "coverage.json"} {
+		data, ok := arts[name]
+		if !ok {
+			continue
+		}
+		if err := os.WriteFile(filepath.Join(cellDir, name), data, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // judge compares one replayed cell against its golden expectation.
 func judge(e *Entry, profile string, res *engine.JobResult) Cell {
 	c := Cell{EntryID: e.ID, Profile: profile}
-	golden, ok := e.Expected.Profiles[profile]
-	if !ok {
+	if _, ok := e.Expected.Profiles[profile]; !ok {
 		c.Status, c.Detail = Error, fmt.Sprintf("no golden recorded for profile %s", profile)
 		return c
 	}
@@ -353,6 +440,18 @@ func judge(e *Entry, profile string, res *engine.JobResult) Cell {
 	got, err := expectationOf(res.Report)
 	if err != nil {
 		c.Status, c.Detail = Error, err.Error()
+		return c
+	}
+	return judgeExpectation(e, profile, got)
+}
+
+// judgeExpectation scores an already-extracted expectation — the shared
+// tail of the fresh-run and cache-hit judging paths.
+func judgeExpectation(e *Entry, profile string, got ProfileExpectation) Cell {
+	c := Cell{EntryID: e.ID, Profile: profile}
+	golden, ok := e.Expected.Profiles[profile]
+	if !ok {
+		c.Status, c.Detail = Error, fmt.Sprintf("no golden recorded for profile %s", profile)
 		return c
 	}
 	if diff := verdictDiff(golden, got); diff != "" {

@@ -1,0 +1,142 @@
+package corpus
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/lumina-sim/lumina/internal/config"
+	"github.com/lumina-sim/lumina/internal/resultcache"
+)
+
+// TestScenarioHashAgreesAcrossPackages pins the single-definition
+// property of the scenario content hash: corpus entry IDs, the generic
+// config helper and result-cache scenario keys must all be the same
+// function, or a served run and a corpus replay of the same scenario
+// would silently stop sharing cache entries.
+func TestScenarioHashAgreesAcrossPackages(t *testing.T) {
+	for _, cfg := range []config.Test{dropConfig(), ecnConfig(), config.Default()} {
+		corpusID, err := ID(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		configHash, err := config.ContentHash(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cacheKey, err := resultcache.ScenarioKey(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if corpusID != configHash || corpusID != cacheKey {
+			t.Fatalf("%s: hash disagreement: corpus.ID=%s config.ContentHash=%s resultcache.ScenarioKey=%s",
+				cfg.Name, corpusID, configHash, cacheKey)
+		}
+	}
+}
+
+// TestCorpusReplayWarmCacheRunsZeroSimulations is the acceptance check
+// for the replay/cache integration: a second replay of an unchanged
+// corpus on the same build must be served entirely from the cache — no
+// new misses, no new puts, so no simulations — and still produce the
+// same green matrix, the same coverage frontier and a byte-identical
+// artifact tree.
+func TestCorpusReplayWarmCacheRunsZeroSimulations(t *testing.T) {
+	dir := t.TempDir()
+	addBoth(t, dir)
+	cache, err := resultcache.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	replay := func(artifacts string) *Matrix {
+		t.Helper()
+		m, err := Replay(context.Background(), dir, ReplayOptions{
+			Profiles:     testProfiles,
+			Cache:        cache,
+			INT:          true,
+			Coverage:     true,
+			ArtifactsDir: artifacts,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !m.OK() {
+			var buf bytes.Buffer
+			m.Render(&buf)
+			t.Fatalf("replay drifted:\n%s", buf.String())
+		}
+		return m
+	}
+
+	coldDir, warmDir := filepath.Join(t.TempDir(), "cold"), filepath.Join(t.TempDir(), "warm")
+	cold := replay(coldDir)
+	after := cache.Stats()
+	cells := len(testProfiles) * 2 // two entries
+	if after.Hits != 0 || after.Misses != uint64(cells) || after.Puts != uint64(cells) {
+		t.Fatalf("cold replay stats = %+v, want %d misses and %d puts", after, cells, cells)
+	}
+
+	warm := replay(warmDir)
+	st := cache.Stats()
+	if st.Misses != after.Misses || st.Puts != after.Puts {
+		t.Fatalf("warm replay simulated: misses %d→%d, puts %d→%d",
+			after.Misses, st.Misses, after.Puts, st.Puts)
+	}
+	if st.Hits != uint64(cells) {
+		t.Fatalf("warm replay hit %d cells, want %d", st.Hits, cells)
+	}
+
+	// The judged matrix and the merged coverage frontier must be
+	// indistinguishable from a cold replay's.
+	renderMatrix := func(m *Matrix) string {
+		var buf bytes.Buffer
+		if err := m.Render(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if renderMatrix(cold) != renderMatrix(warm) {
+		t.Fatalf("warm matrix diverged:\n%s\nvs cold:\n%s", renderMatrix(warm), renderMatrix(cold))
+	}
+	coldCov, _ := json.Marshal(cold.Coverage)
+	warmCov, _ := json.Marshal(warm.Coverage)
+	if !bytes.Equal(coldCov, warmCov) {
+		t.Fatal("warm coverage frontier differs from cold")
+	}
+
+	// And the dumped artifact tree must be byte-identical.
+	var files []string
+	if err := filepath.WalkDir(coldDir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			rel, _ := filepath.Rel(coldDir, path)
+			files = append(files, rel)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * len(testProfiles) * 3; len(files) != want { // summary+int+coverage per cell
+		t.Fatalf("cold artifact tree has %d files, want %d: %v", len(files), want, files)
+	}
+	for _, rel := range files {
+		coldBytes, err := os.ReadFile(filepath.Join(coldDir, rel))
+		if err != nil {
+			t.Fatal(err)
+		}
+		warmBytes, err := os.ReadFile(filepath.Join(warmDir, rel))
+		if err != nil {
+			t.Fatalf("artifact %s missing from warm tree: %v", rel, err)
+		}
+		if !bytes.Equal(coldBytes, warmBytes) {
+			t.Fatalf("artifact %s differs between cold and warm replays", rel)
+		}
+	}
+}

@@ -93,6 +93,30 @@ func DefaultOptions() Options {
 	return Options{Deadline: 600 * sim.Second}
 }
 
+// Fingerprint renders the options that can change a run's artifacts
+// into a canonical string — the "options" dimension of a result-cache
+// key. Two runs of the same scenario with the same fingerprint (and the
+// same code version) produce byte-identical artifacts.
+//
+// Shards is deliberately excluded: sharding is artifact-preserving by
+// contract (every artifact is byte-identical at any Shards value, and
+// CI diffs the trees to prove it), so a result computed sharded may
+// serve a cache lookup for an unsharded replay and vice versa.
+func (o Options) Fingerprint() string {
+	d := o.Deadline
+	if d <= 0 {
+		d = DefaultOptions().Deadline
+	}
+	flag := func(b bool) byte {
+		if b {
+			return '1'
+		}
+		return '0'
+	}
+	return fmt.Sprintf("deadline=%d;telemetry=%c;lineage=%c;int=%c;coverage=%c",
+		int64(d), flag(o.Telemetry), flag(o.Lineage), flag(o.INT), flag(o.Coverage))
+}
+
 // DumperStat summarizes one dumper node.
 type DumperStat struct {
 	Node     int    `json:"node"`

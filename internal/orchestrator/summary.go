@@ -1,12 +1,15 @@
 package orchestrator
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"io"
 
 	"github.com/lumina-sim/lumina/internal/analyzer"
 	"github.com/lumina-sim/lumina/internal/lineage"
 	"github.com/lumina-sim/lumina/internal/sim"
+	"github.com/lumina-sim/lumina/internal/version"
 )
 
 // SummarySchema versions the summary.json layout for cross-run diffing
@@ -29,14 +32,20 @@ type LatencyDigest struct {
 // serializes with sorted keys), so two same-seed runs produce
 // byte-identical files.
 type Summary struct {
-	Schema     string   `json:"schema"`
-	Name       string   `json:"name"`
-	Seed       int64    `json:"seed"`
-	Requester  string   `json:"requester_nic"`
-	Responder  string   `json:"responder_nic"`
-	Verb       string   `json:"verb"`
-	DurationNs sim.Time `json:"duration_ns"`
-	TimedOut   bool     `json:"timed_out"`
+	Schema string `json:"schema"`
+	// CodeVersion is the build stamp of the binary that produced the
+	// run (version.Stamp). It is provenance, not behaviour: the
+	// canonical digest form (SummaryDigest) clears it, so golden
+	// summary digests recorded in the corpus survive commits that do
+	// not change simulated behaviour.
+	CodeVersion string   `json:"code_version,omitempty"`
+	Name        string   `json:"name"`
+	Seed        int64    `json:"seed"`
+	Requester   string   `json:"requester_nic"`
+	Responder   string   `json:"responder_nic"`
+	Verb        string   `json:"verb"`
+	DurationNs  sim.Time `json:"duration_ns"`
+	TimedOut    bool     `json:"timed_out"`
 
 	IntegrityOK  bool `json:"integrity_ok"`
 	TracePackets int  `json:"trace_packets"`
@@ -52,14 +61,15 @@ type Summary struct {
 // Summary condenses the report into its summary.json form.
 func (r *Report) Summary() *Summary {
 	s := &Summary{
-		Schema:     SummarySchema,
-		Name:       r.Config.Name,
-		Seed:       r.Config.Seed,
-		Requester:  r.Config.Requester.NIC.Type,
-		Responder:  r.Config.Responder.NIC.Type,
-		Verb:       r.Config.Traffic.Verb,
-		DurationNs: r.DurationNs,
-		TimedOut:   r.TimedOut,
+		Schema:      SummarySchema,
+		CodeVersion: version.Stamp(),
+		Name:        r.Config.Name,
+		Seed:        r.Config.Seed,
+		Requester:   r.Config.Requester.NIC.Type,
+		Responder:   r.Config.Responder.NIC.Type,
+		Verb:        r.Config.Traffic.Verb,
+		DurationNs:  r.DurationNs,
+		TimedOut:    r.TimedOut,
 
 		IntegrityOK: r.IntegrityOK,
 		Verdicts:    r.Verdicts,
@@ -92,9 +102,34 @@ func (r *Report) Summary() *Summary {
 	return s
 }
 
-// WriteSummary renders the summary as indented JSON.
+// WriteSummary renders the summary as indented JSON, including the
+// build's code_version stamp.
 func (r *Report) WriteSummary(w io.Writer) error {
-	js, err := json.MarshalIndent(r.Summary(), "", "  ")
+	return writeSummaryJSON(w, r.Summary())
+}
+
+// WriteSummaryCanonical renders the digest form: the summary with
+// CodeVersion cleared. Golden digests must identify behaviour, not
+// builds — a digest that changed on every commit could never catch a
+// drift — so the corpus and the result cache both digest this form.
+func (r *Report) WriteSummaryCanonical(w io.Writer) error {
+	s := r.Summary()
+	s.CodeVersion = ""
+	return writeSummaryJSON(w, s)
+}
+
+// SummaryDigest is the hex SHA-256 of the canonical summary form — the
+// quantity corpus goldens record and replays compare.
+func (r *Report) SummaryDigest() (string, error) {
+	h := sha256.New()
+	if err := r.WriteSummaryCanonical(h); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+func writeSummaryJSON(w io.Writer, s *Summary) error {
+	js, err := json.MarshalIndent(s, "", "  ")
 	if err != nil {
 		return err
 	}

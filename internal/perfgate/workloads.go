@@ -2,12 +2,15 @@ package perfgate
 
 import (
 	"net/netip"
+	"os"
+	"path/filepath"
 
 	"github.com/lumina-sim/lumina/internal/config"
 	"github.com/lumina-sim/lumina/internal/coverage"
 	"github.com/lumina-sim/lumina/internal/inband"
 	"github.com/lumina-sim/lumina/internal/orchestrator"
 	"github.com/lumina-sim/lumina/internal/packet"
+	"github.com/lumina-sim/lumina/internal/resultcache"
 	"github.com/lumina-sim/lumina/internal/sim"
 )
 
@@ -30,6 +33,7 @@ var workloads = map[string]workloadFn{
 	"coverage_record":    coverageRecord,
 	"end_to_end_run":     endToEndRun,
 	"fabric_incast":      fabricIncast,
+	"cache_lookup":       cacheLookup,
 }
 
 // samplePacket is a representative mid-message Write data packet: the
@@ -177,6 +181,46 @@ func endToEndRun() (int, func()) {
 		}
 		if !rep.IntegrityOK {
 			panic("perfgate: end_to_end_run integrity check failed: " + rep.IntegrityDetail)
+		}
+	}
+}
+
+// cacheLookup is the result-cache hit path: one verified Get of a real
+// run's artifact set (entry.json parse, per-artifact read, size and
+// digest check). This is what a warm corpus replay or a served
+// resubmission pays *instead of* an end_to_end_run, so its budget keeps
+// the hit path orders of magnitude below the simulation it replaces.
+func cacheLookup() (int, func()) {
+	cfg := config.Default()
+	cfg.Traffic.NumMsgsPerQP = 5
+	opts := orchestrator.DefaultOptions()
+	opts.Lineage = true
+	rep, err := orchestrator.Run(cfg, opts)
+	if err != nil {
+		panic(err)
+	}
+	arts, err := resultcache.Render(rep)
+	if err != nil {
+		panic(err)
+	}
+	// A fixed directory keeps repeated gate runs from accumulating temp
+	// dirs; the previous run's copy is replaced wholesale.
+	dir := filepath.Join(os.TempDir(), "lumina-perfgate-cache")
+	os.RemoveAll(dir)
+	c, err := resultcache.Open(dir, 0)
+	if err != nil {
+		panic(err)
+	}
+	key, err := resultcache.KeyFor(cfg, "", opts)
+	if err != nil {
+		panic(err)
+	}
+	if err := c.Put(key, arts); err != nil {
+		panic(err)
+	}
+	return 200, func() {
+		if _, ok := c.Get(key); !ok {
+			panic("perfgate: cache_lookup missed a warm key")
 		}
 	}
 }

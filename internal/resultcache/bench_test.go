@@ -1,0 +1,46 @@
+package resultcache
+
+import (
+	"testing"
+
+	"github.com/lumina-sim/lumina/internal/config"
+	"github.com/lumina-sim/lumina/internal/orchestrator"
+)
+
+// BenchmarkCacheLookup measures the cache-hit path — the cost a warm
+// replay or a served resubmission pays instead of a simulation: one
+// Get verifying and returning a real run's artifact set (entry.json
+// parse + per-artifact read + size/digest check). The perfgate budget
+// cache_lookup bounds its allocation profile.
+func BenchmarkCacheLookup(b *testing.B) {
+	cfg := config.Default()
+	cfg.Traffic.NumMsgsPerQP = 5
+	opts := orchestrator.DefaultOptions()
+	opts.Lineage = true
+	rep, err := orchestrator.Run(cfg, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	arts, err := Render(rep)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := Open(b.TempDir(), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	key, err := KeyFor(cfg, "", opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := c.Put(key, arts); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := c.Get(key); !ok {
+			b.Fatal("cache miss on warm key")
+		}
+	}
+}

@@ -1,0 +1,27 @@
+package version
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStampIsStableAndKeySafe(t *testing.T) {
+	a, b := Stamp(), Stamp()
+	if a == "" {
+		t.Fatal("empty build stamp")
+	}
+	if a != b {
+		t.Fatalf("stamp not stable: %q vs %q", a, b)
+	}
+	// The stamp is a cache-key dimension joined with NUL separators and
+	// rendered into JSON artifacts: keep it printable and single-token.
+	if strings.ContainsAny(a, " \t\n\x00") {
+		t.Fatalf("stamp %q contains separator bytes", a)
+	}
+}
+
+func TestStringMentionsModule(t *testing.T) {
+	if s := String(); !strings.Contains(s, Get().Module) {
+		t.Fatalf("String() = %q lacks module path", s)
+	}
+}

@@ -38,10 +38,12 @@ import (
 	"github.com/lumina-sim/lumina/internal/minimize"
 	"github.com/lumina-sim/lumina/internal/orchestrator"
 	"github.com/lumina-sim/lumina/internal/perfgate"
+	"github.com/lumina-sim/lumina/internal/resultcache"
 	"github.com/lumina-sim/lumina/internal/rnic"
 	"github.com/lumina-sim/lumina/internal/sim"
 	"github.com/lumina-sim/lumina/internal/telemetry"
 	"github.com/lumina-sim/lumina/internal/trace"
+	"github.com/lumina-sim/lumina/internal/version"
 )
 
 // Configuration types (the paper's Listings 1–2 schema).
@@ -318,3 +320,41 @@ func PerfBudgets() ([]PerfBudget, error) { return perfgate.Budgets() }
 // measurements plus any busted budgets (empty violations = gate
 // passes).
 func PerfGate() ([]PerfResult, []PerfViolation, error) { return perfgate.Gate() }
+
+// Build identity (debug.ReadBuildInfo): printed by every CLI's
+// -version flag, embedded in summary.json, and the fourth dimension of
+// result-cache keys — a new revision invalidates cached results.
+type BuildInfo = version.Info
+
+// Version returns the human build-identity line (module, version,
+// revision, toolchain).
+func Version() string { return version.String() }
+
+// BuildStamp returns the compact machine form of the build identity
+// used in cache keys and artifacts ("rev12", "rev12.dirty", or the
+// module version for unstamped builds).
+func BuildStamp() string { return version.Stamp() }
+
+// Result cache (DESIGN.md §3.14): runs are pure functions of
+// (scenario, profile, options, code version), so artifacts are stored
+// content-addressed and reused by `lumina-corpus replay -cache` and
+// the lumina-serve daemon. Reads are digest-verified (corruption =
+// miss), writes are atomic, eviction is LRU.
+type (
+	ResultCache      = resultcache.Cache
+	ResultCacheKey   = resultcache.Key
+	ResultCacheStats = resultcache.Stats
+)
+
+// OpenResultCache opens (creating if needed) a result cache rooted at
+// dir. maxBytes > 0 bounds the store with LRU eviction; 0 = unbounded.
+func OpenResultCache(dir string, maxBytes int64) (*ResultCache, error) {
+	return resultcache.Open(dir, maxBytes)
+}
+
+// ResultCacheKeyFor derives the cache key identifying cfg run under
+// the given NIC profile ("" = as configured) and options, stamped with
+// this binary's build identity.
+func ResultCacheKeyFor(cfg Config, profile string, opts Options) (ResultCacheKey, error) {
+	return resultcache.KeyFor(cfg, profile, opts)
+}
