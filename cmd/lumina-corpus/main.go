@@ -76,9 +76,29 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   lumina-corpus add      [-corpus dir] [-minimize] [-workers N] cfg.yaml...
   lumina-corpus minimize [-workers N] [-out file] cfg.yaml
-  lumina-corpus replay   [-corpus dir] [-profiles cx4,cx5,...] [-workers N] [-int] [-coverage] [-artifacts dir] [-cache dir] [-cache-max-mb N]
+  lumina-corpus replay   [-corpus dir] [-profiles cx4,cx5,...] [-transport rc,uc,ud] [-workers N] [-int] [-coverage] [-artifacts dir] [-cache dir] [-cache-max-mb N]
   lumina-corpus coverage [-corpus dir] [-profiles cx4,cx5,...] [-workers N] [-out frontier.json]
   lumina-corpus list     [-corpus dir] [-coverage] [-workers N]`)
+}
+
+// parseTransports validates a comma-separated transport list (empty =
+// no filter, replay every entry).
+func parseTransports(csv string) ([]string, error) {
+	if csv == "" {
+		return nil, nil
+	}
+	var out []string
+	for _, t := range strings.Split(csv, ",") {
+		t = strings.TrimSpace(t)
+		if t == "" {
+			continue
+		}
+		if _, err := rnic.ParseTransport(t); err != nil {
+			return nil, err
+		}
+		out = append(out, strings.ToLower(t))
+	}
+	return out, nil
 }
 
 // parseProfiles validates a comma-separated model list against the
@@ -186,6 +206,7 @@ func cmdReplay(args []string) error {
 	fs := flag.NewFlagSet("replay", flag.ExitOnError)
 	dir := fs.String("corpus", "corpus", "corpus directory")
 	profCSV := fs.String("profiles", "", "comma-separated NIC models to replay against (default: all)")
+	transCSV := fs.String("transport", "", "comma-separated transports (rc,uc,ud): replay only entries exercising at least one of them (default: all entries)")
 	workers := fs.Int("workers", 0, "engine worker-pool size: 0 = one per CPU, 1 = serial (matrix is identical for every value)")
 	intFlag := fs.Bool("int", false, "replay with in-band telemetry enabled (observe-only: cells still judge against the INT-agnostic goldens)")
 	covFlag := fs.Bool("coverage", false, "replay with behavioral coverage enabled (observe-only, like -int) and report per-profile frontiers")
@@ -198,6 +219,10 @@ func cmdReplay(args []string) error {
 	if err != nil {
 		return err
 	}
+	transports, err := parseTransports(*transCSV)
+	if err != nil {
+		return err
+	}
 	var cache *resultcache.Cache
 	if *cacheDir != "" {
 		if cache, err = resultcache.Open(*cacheDir, *cacheMaxMB<<20); err != nil {
@@ -205,7 +230,7 @@ func cmdReplay(args []string) error {
 		}
 	}
 	m, err := corpus.Replay(context.Background(), *dir,
-		corpus.ReplayOptions{Profiles: profiles, Workers: *workers,
+		corpus.ReplayOptions{Profiles: profiles, Transports: transports, Workers: *workers,
 			INT: *intFlag, Coverage: *covFlag, ArtifactsDir: *artifacts, Shards: *shards, Cache: cache})
 	if err != nil {
 		return err

@@ -8,6 +8,7 @@
 //
 //	lumina -config test.yaml [-out results/] [-analyze] [-deadline 600]
 //	       [-timeline t.json] [-metrics m.json] [-int] [-coverage]
+//	       [-transport rc|uc|ud]
 package main
 
 import (
@@ -31,6 +32,7 @@ func main() {
 	intFlag := flag.Bool("int", false, "enable in-band telemetry: per-hop INT stamping, joined to lineage chains (int.json with -out)")
 	covFlag := flag.Bool("coverage", false, "record behavioral coverage: FSM/match-action (site, transition) pairs (coverage.json with -out)")
 	shards := flag.Int("shards", 1, "event-loop shards: >1 partitions the simulation per node with conservative lookahead (artifacts stay byte-identical)")
+	transport := flag.String("transport", "", "override the scenario's transport for every connection: rc, uc, or ud (default: whatever the scenario declares)")
 	showVersion := flag.Bool("version", false, "print the build stamp (also embedded in cache keys and summary.json) and exit")
 	flag.Parse()
 
@@ -56,6 +58,7 @@ func main() {
 		INT:       *intFlag,
 		Coverage:  *covFlag,
 		Shards:    *shards,
+		Transport: *transport,
 	})
 	if err != nil {
 		fatal(err)

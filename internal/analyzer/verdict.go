@@ -18,10 +18,26 @@ type Verdict struct {
 	Chains   []uint64 `json:"chains,omitempty"`
 }
 
+// VerdictOptions carries run context the verdicts need beyond the trace
+// itself. The zero value describes an all-RC run.
+type VerdictOptions struct {
+	// UnreliableQPNs is the destination-QPN set of UC/UD connections.
+	// Drops into these QPs are excluded from the retrans verdict (no
+	// recovery is expected) and judged by the silent-loss verdict
+	// instead, which is emitted only when the set is non-empty.
+	UnreliableQPNs map[uint32]bool
+}
+
 // Verdicts runs the trace analyzers and renders their findings as
-// verdicts. g supplies the causal chains each verdict cites; it may be
-// nil (verdicts then carry no chain references).
+// verdicts, assuming an all-RC run. g supplies the causal chains each
+// verdict cites; it may be nil (verdicts then carry no chain
+// references).
 func Verdicts(tr *trace.Trace, g *lineage.Graph) []Verdict {
+	return VerdictsWith(tr, g, VerdictOptions{})
+}
+
+// VerdictsWith is Verdicts with explicit run context.
+func VerdictsWith(tr *trace.Trace, g *lineage.Graph, opts VerdictOptions) []Verdict {
 	if tr == nil {
 		return nil
 	}
@@ -49,6 +65,15 @@ func Verdicts(tr *trace.Trace, g *lineage.Graph) []Verdict {
 	out = append(out, v)
 
 	retrans := AnalyzeRetransmissions(tr)
+	if len(opts.UnreliableQPNs) > 0 {
+		kept := retrans[:0]
+		for i := range retrans {
+			if !opts.UnreliableQPNs[retrans[i].Conn.DstQPN] {
+				kept = append(kept, retrans[i])
+			}
+		}
+		retrans = kept
+	}
 	recovered, timeouts := 0, 0
 	for i := range retrans {
 		if retrans[i].RetransTime != 0 {
@@ -76,5 +101,25 @@ func Verdicts(tr *trace.Trace, g *lineage.Graph) []Verdict {
 			marked, cnp.TotalCNPs(), cnp.Orphans),
 		Chains: chainsOf(packet.EventECN),
 	})
+
+	// The silent-loss contract only exists on UC/UD runs; RC-only runs
+	// keep their historical three-verdict shape byte for byte.
+	if len(opts.UnreliableQPNs) > 0 {
+		losses := AnalyzeSilentLoss(tr, opts.UnreliableQPNs)
+		silent, anomalous := 0, 0
+		for i := range losses {
+			if losses[i].Silent() {
+				silent++
+			} else {
+				anomalous++
+			}
+		}
+		out = append(out, Verdict{
+			Analyzer: "silent-loss", Pass: anomalous == 0,
+			Reason: fmt.Sprintf("%d drop(s) on unreliable transports: %d stayed silent, %d anomalous (retransmitted or NAKed)",
+				len(losses), silent, anomalous),
+			Chains: chainsOf(packet.EventDrop),
+		})
+	}
 	return out
 }

@@ -9,8 +9,10 @@ import (
 	"fmt"
 	"net/netip"
 	"os"
+	"sort"
 	"strings"
 
+	"github.com/lumina-sim/lumina/internal/rnic"
 	"github.com/lumina-sim/lumina/internal/sim"
 	"github.com/lumina-sim/lumina/internal/yamlite"
 )
@@ -110,6 +112,15 @@ type Traffic struct {
 	// (the multi-queue experiments of §6.2.1). Missing entries default
 	// to queue 0.
 	QPTrafficClass []int `json:"qp-traffic-class,omitempty"`
+	// Transport selects the RoCE service type for every connection:
+	// "rc" (the default), "uc", or "ud". Validate canonicalizes "rc" to
+	// the empty string so pre-transport documents keep their content
+	// hashes.
+	Transport string `json:"transport,omitempty"`
+	// QPTransport maps connection index → transport, overriding
+	// Transport per connection (interop mixes, e.g. RC and UD sharing
+	// ETS queues). Missing or empty entries inherit Transport.
+	QPTransport []string `json:"qp-transport,omitempty"`
 	// Events are the deterministic injections (data-pkt-events).
 	Events []Event `json:"data-pkt-events"`
 }
@@ -261,6 +272,9 @@ func (t *Test) Validate() error {
 	default:
 		return fmt.Errorf("config: unknown rdma-verb %q", tr.Verb)
 	}
+	if err := tr.validateTransports(); err != nil {
+		return err
+	}
 	for i, tc := range tr.QPTrafficClass {
 		nq := len(t.Requester.ETS)
 		if nq == 0 {
@@ -372,6 +386,92 @@ func (tr Traffic) PacketsPerMessage() int {
 // connection produces.
 func (tr Traffic) PacketsPerQP() int {
 	return tr.PacketsPerMessage() * tr.NumMsgsPerQP
+}
+
+// TransportOf returns the effective transport name for connection i
+// (0-based): the per-connection override when set, else the
+// traffic-wide Transport, else "rc".
+func (tr Traffic) TransportOf(i int) string {
+	if i < len(tr.QPTransport) && tr.QPTransport[i] != "" {
+		return tr.QPTransport[i]
+	}
+	if tr.Transport != "" {
+		return tr.Transport
+	}
+	return "rc"
+}
+
+// Transports returns the sorted set of effective transport names across
+// all connections.
+func (tr Traffic) Transports() []string {
+	set := map[string]bool{}
+	for i := 0; i < tr.NumConnections; i++ {
+		set[tr.TransportOf(i)] = true
+	}
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// validateTransports checks the transport names and the per-transport
+// traffic constraints, then canonicalizes the fields: "rc" (the
+// all-default spelling) collapses to the zero value so documents
+// written before transports existed — and spellings that only restate
+// the default — keep their content hashes.
+func (tr *Traffic) validateTransports() error {
+	tr.Transport = strings.ToLower(tr.Transport)
+	if tr.Transport != "" {
+		if _, err := rnic.ParseTransport(tr.Transport); err != nil {
+			return fmt.Errorf("config: traffic transport: %w", err)
+		}
+	}
+	if len(tr.QPTransport) > tr.NumConnections {
+		return fmt.Errorf("config: %d qp-transport entries for %d connections",
+			len(tr.QPTransport), tr.NumConnections)
+	}
+	base := tr.Transport
+	if base == "" {
+		base = "rc"
+	}
+	allBase := true
+	for i := range tr.QPTransport {
+		name := strings.ToLower(tr.QPTransport[i])
+		if name == "" {
+			name = base // empty entries inherit the traffic-wide choice
+		}
+		if _, err := rnic.ParseTransport(name); err != nil {
+			return fmt.Errorf("config: qp-transport[%d]: %w", i, err)
+		}
+		tr.QPTransport[i] = name
+		if name != base {
+			allBase = false
+		}
+	}
+	if allBase {
+		tr.QPTransport = nil
+	}
+	if tr.Transport == "rc" {
+		tr.Transport = ""
+	}
+	for i := 0; i < tr.NumConnections; i++ {
+		switch tr.TransportOf(i) {
+		case "ud":
+			if tr.Verb != "send" {
+				return fmt.Errorf("config: connection %d is UD, which carries only rdma-verb send (got %q)", i+1, tr.Verb)
+			}
+			if tr.MessageSize > tr.MTU {
+				return fmt.Errorf("config: connection %d is UD: message-size %d exceeds the %d-byte MTU (datagrams are single-packet)", i+1, tr.MessageSize, tr.MTU)
+			}
+		case "uc":
+			if tr.Verb != "send" && tr.Verb != "write" {
+				return fmt.Errorf("config: connection %d is UC, which carries only send or write (got %q)", i+1, tr.Verb)
+			}
+		}
+	}
+	return nil
 }
 
 // Load reads a yamlite test configuration from a file.
@@ -503,6 +603,10 @@ func parseTraffic(tr yamlite.Map, out *Traffic) {
 			fmt.Sscanf(v, "%d", &x)
 			out.QPTrafficClass = append(out.QPTrafficClass, x)
 		}
+	}
+	out.Transport = tr.Str("transport", out.Transport)
+	if tr.Has("qp-transport") {
+		out.QPTransport = tr.StrList("qp-transport")
 	}
 	if tr.Has("data-pkt-events") {
 		out.Events = nil

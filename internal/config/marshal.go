@@ -95,6 +95,19 @@ func trafficDoc(tr Traffic) map[string]any {
 		}
 		doc["qp-traffic-class"] = tcs
 	}
+	// Transport fields are emitted only in their canonical (validated)
+	// non-default form, so every pre-transport document still marshals —
+	// and content-hashes — byte-identically.
+	if tr.Transport != "" {
+		doc["transport"] = tr.Transport
+	}
+	if len(tr.QPTransport) > 0 {
+		var ts []any
+		for _, s := range tr.QPTransport {
+			ts = append(ts, s)
+		}
+		doc["qp-transport"] = ts
+	}
 	if len(tr.Events) > 0 {
 		var evs []any
 		for _, e := range tr.Events {

@@ -14,6 +14,7 @@ import (
 	"github.com/lumina-sim/lumina/internal/engine"
 	"github.com/lumina-sim/lumina/internal/orchestrator"
 	"github.com/lumina-sim/lumina/internal/resultcache"
+	"github.com/lumina-sim/lumina/internal/rnic"
 	"github.com/lumina-sim/lumina/internal/sim"
 	"github.com/lumina-sim/lumina/internal/telemetry"
 	"github.com/lumina-sim/lumina/internal/version"
@@ -151,6 +152,11 @@ type ReplayOptions struct {
 	// Profiles are the matrix columns (default: every built-in model,
 	// sorted).
 	Profiles []string
+	// Transports, when non-empty, restricts the matrix rows to entries
+	// whose effective transport set (config.Traffic.Transports) contains
+	// at least one of the named transports — the -transport axis of the
+	// CI transport matrix. Empty replays every entry.
+	Transports []string
 	// Workers is the engine pool size (0 = one per CPU, 1 = serial).
 	// The matrix is byte-identical for every value.
 	Workers int
@@ -205,6 +211,12 @@ func Replay(ctx context.Context, dir string, opts ReplayOptions) (*Matrix, error
 	}
 	if len(ids) == 0 {
 		return nil, fmt.Errorf("corpus: no entries under %s", dir)
+	}
+	if len(opts.Transports) > 0 {
+		ids, err = filterByTransport(dir, ids, opts.Transports)
+		if err != nil {
+			return nil, err
+		}
 	}
 	m := &Matrix{Profiles: opts.Profiles}
 
@@ -331,6 +343,39 @@ func Replay(ctx context.Context, dir string, opts ReplayOptions) (*Matrix, error
 }
 
 func entryDir(dir, id string) string { return filepath.Join(dir, id) }
+
+// filterByTransport keeps the entries whose effective transport set
+// intersects want. Unreadable entries are kept — Replay will surface
+// them as error rows instead of silently hiding them from every
+// filtered matrix.
+func filterByTransport(dir string, ids, want []string) ([]string, error) {
+	wanted := map[string]bool{}
+	for _, t := range want {
+		if _, err := rnic.ParseTransport(t); err != nil {
+			return nil, err
+		}
+		wanted[strings.ToLower(t)] = true
+	}
+	var out []string
+	for _, id := range ids {
+		e, err := loadEntry(entryDir(dir, id))
+		if err != nil {
+			out = append(out, id)
+			continue
+		}
+		for _, t := range e.Config.Traffic.Transports() {
+			if wanted[t] {
+				out = append(out, id)
+				break
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("corpus: no entries under %s use transport(s) %s",
+			dir, strings.Join(want, ","))
+	}
+	return out, nil
+}
 
 // dumpCellArtifacts writes one replayed cell's diffable artifacts under
 // dir/<entry>/<profile>/: summary.json always, int.json when the replay

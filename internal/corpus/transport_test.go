@@ -1,0 +1,172 @@
+package corpus
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/lumina-sim/lumina/internal/config"
+)
+
+// ucGapConfig drops a mid-message packet of a UC Write stream.
+func ucGapConfig() config.Test {
+	c := config.Default()
+	c.Name = "uc-gap"
+	c.Seed = 5
+	c.Traffic.Transport = "uc"
+	c.Traffic.Verb = "write"
+	c.Traffic.MessageSize = 4096
+	c.Traffic.NumMsgsPerQP = 3
+	c.Traffic.Events = []config.Event{{QPN: 1, PSN: 6, Iter: 1, Type: "drop"}}
+	return c
+}
+
+// udLossConfig drops one of four UD Send datagrams.
+func udLossConfig() config.Test {
+	c := config.Default()
+	c.Name = "ud-loss"
+	c.Seed = 9
+	c.Traffic.Transport = "ud"
+	c.Traffic.Verb = "send"
+	c.Traffic.MessageSize = 1024
+	c.Traffic.NumMsgsPerQP = 4
+	c.Traffic.Events = []config.Event{{QPN: 1, PSN: 2, Iter: 1, Type: "drop"}}
+	return c
+}
+
+// mixConfig runs an RC and a UD connection side by side.
+func mixConfig() config.Test {
+	c := config.Default()
+	c.Name = "rc-ud-mix"
+	c.Seed = 21
+	c.Traffic.NumConnections = 2
+	c.Traffic.QPTransport = []string{"rc", "ud"}
+	c.Traffic.Verb = "send"
+	c.Traffic.MessageSize = 1024
+	c.Traffic.NumMsgsPerQP = 2
+	return c
+}
+
+func addTransportTrio(t *testing.T, dir string) {
+	t.Helper()
+	for _, cfg := range []config.Test{ucGapConfig(), udLossConfig(), mixConfig()} {
+		if _, added, err := Add(dir, cfg, Meta{Target: "test"},
+			RunOptions{Profiles: testProfiles, Workers: 0}); err != nil {
+			t.Fatal(err)
+		} else if !added {
+			t.Fatalf("%s: expected a fresh admission", cfg.Name)
+		}
+	}
+}
+
+func TestCorpusReplayTransportFilter(t *testing.T) {
+	dir := t.TempDir()
+	addTransportTrio(t, dir)
+	addBoth(t, dir) // two RC-only entries
+
+	rows := func(transports ...string) []string {
+		m, err := Replay(context.Background(), dir,
+			ReplayOptions{Profiles: testProfiles, Transports: transports})
+		if err != nil {
+			t.Fatalf("transports %v: %v", transports, err)
+		}
+		var names []string
+		for _, r := range m.Rows {
+			names = append(names, r.Name)
+		}
+		return names
+	}
+	if got := rows("uc"); len(got) != 1 || got[0] != "uc-gap" {
+		t.Errorf("uc filter rows = %v", got)
+	}
+	// ud matches both the pure-UD entry and the mix (its transport set
+	// is {rc, ud}).
+	if got := rows("ud"); len(got) != 2 {
+		t.Errorf("ud filter rows = %v, want 2", got)
+	}
+	// rc matches everything except the pure-UC and pure-UD entries.
+	if got := rows("rc"); len(got) != 3 {
+		t.Errorf("rc filter rows = %v, want 3", got)
+	}
+	if got := rows("uc", "ud"); len(got) != 3 {
+		t.Errorf("uc,ud filter rows = %v, want 3", got)
+	}
+	if got := rows(); len(got) != 5 {
+		t.Errorf("unfiltered rows = %v, want 5", got)
+	}
+
+	if _, err := Replay(context.Background(), dir,
+		ReplayOptions{Profiles: testProfiles, Transports: []string{"xrc"}}); err == nil ||
+		!strings.Contains(err.Error(), "rc, uc, ud") {
+		t.Errorf("unknown transport filter error = %v; want sorted known-transport list", err)
+	}
+}
+
+// TestCorpusUnreliableReplayByteIdenticalAcrossWorkers is the corpus
+// form of the determinism contract for the new transports: replaying
+// UC/UD/mix entries serially and with 8 workers must render the same
+// matrix AND dump byte-identical artifact trees.
+func TestCorpusUnreliableReplayByteIdenticalAcrossWorkers(t *testing.T) {
+	dir := t.TempDir()
+	addTransportTrio(t, dir)
+
+	replay := func(workers int) (string, string) {
+		arts := filepath.Join(t.TempDir(), "arts")
+		m, err := Replay(context.Background(), dir,
+			ReplayOptions{Profiles: testProfiles, Workers: workers, ArtifactsDir: arts})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !m.OK() {
+			var buf bytes.Buffer
+			m.Render(&buf)
+			t.Fatalf("workers=%d drifted:\n%s", workers, buf.String())
+		}
+		var buf bytes.Buffer
+		if err := m.Render(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String(), arts
+	}
+
+	serialMatrix, serialArts := replay(1)
+	parallelMatrix, parallelArts := replay(8)
+	if serialMatrix != parallelMatrix {
+		t.Errorf("matrix diverged:\n%s\nvs\n%s", parallelMatrix, serialMatrix)
+	}
+
+	// Walk the serial tree and byte-compare every artifact.
+	files := 0
+	err := filepath.Walk(serialArts, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		rel, err := filepath.Rel(serialArts, path)
+		if err != nil {
+			return err
+		}
+		a, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		b, err := os.ReadFile(filepath.Join(parallelArts, rel))
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s differs between workers=1 and workers=8", rel)
+		}
+		files++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 entries × 2 profiles, one summary.json each.
+	if files != 6 {
+		t.Errorf("compared %d artifact file(s), want 6", files)
+	}
+}

@@ -74,6 +74,11 @@ const (
 	SiteInjectMirror
 	// SiteInjectIter: per-connection iteration tracking (injector.go).
 	SiteInjectIter
+	// SiteUC: the Unreliable Connected receiver FSM — NAK-less sequenced
+	// delivery with drop-on-gap and First/Only resync (transport_uc.go).
+	SiteUC
+	// SiteUD: the Unreliable Datagram delivery path (transport_ud.go).
+	SiteUD
 
 	numSites
 )
@@ -192,6 +197,20 @@ const (
 	IterNewRound
 )
 
+const (
+	UCInOrder uint8 = iota
+	UCResync
+	UCDropGap
+	UCDuplicate
+	UCDropMR
+	UCNoRecv
+)
+
+const (
+	UDDeliver uint8 = iota
+	UDNoRecv
+)
+
 // siteDef is one registry row: the site's stable name and its
 // transition names in constant order.
 type siteDef struct {
@@ -216,6 +235,8 @@ var defs = [numSites]siteDef{
 	SiteInjectAction: {"inject.action", []string{"ecn", "corrupt", "mig-req", "drop", "delay", "reorder-hold", "overtake", "release"}},
 	SiteInjectMirror: {"inject.mirror", []string{"spray", "by-ingress", "rss-rewrite"}},
 	SiteInjectIter:   {"inject.iter", []string{"tracked", "adopt", "new-round"}},
+	SiteUC:           {"uc.recv", []string{"in-order", "resync", "drop-gap", "duplicate", "mr-drop", "no-recv"}},
+	SiteUD:           {"ud.datagram", []string{"deliver", "no-recv"}},
 }
 
 // offsets[s] is the first global pair index of site s;

@@ -74,6 +74,15 @@ type Options struct {
 	// worker count and with INT on or off.
 	Coverage bool
 
+	// Transport, when non-empty, overrides the scenario's transport for
+	// every connection ("rc", "uc", or "ud") — the -transport CLI knob
+	// and the transport-matrix CI axis. It clears any per-connection
+	// qp-transport mix, is validated against the scenario's verb and
+	// message-size constraints by config.Validate, and participates in
+	// Fingerprint: the override changes the simulated history, so cached
+	// results are keyed by it.
+	Transport string
+
 	// Shards selects the sharded event-loop engine (sim.Fabric): each
 	// fabric node — host NIC, leaf, spine+dumpers — runs its own event
 	// heap, synchronized by conservative lookahead, with Shards capping
@@ -113,8 +122,8 @@ func (o Options) Fingerprint() string {
 		}
 		return '0'
 	}
-	return fmt.Sprintf("deadline=%d;telemetry=%c;lineage=%c;int=%c;coverage=%c",
-		int64(d), flag(o.Telemetry), flag(o.Lineage), flag(o.INT), flag(o.Coverage))
+	return fmt.Sprintf("deadline=%d;telemetry=%c;lineage=%c;int=%c;coverage=%c;transport=%s",
+		int64(d), flag(o.Telemetry), flag(o.Lineage), flag(o.INT), flag(o.Coverage), o.Transport)
 }
 
 // DumperStat summarizes one dumper node.
@@ -225,8 +234,38 @@ type Testbed struct {
 	shardRunDeadline  sim.Time
 }
 
+// unreliableQPNs unions the UC/UD destination-QPN sets of every traffic
+// generator the testbed drives (the single Pair of a pair testbed, or
+// the per-sender Pairs of a fabric run). Nil for all-RC runs, keeping
+// the historical verdict shape.
+func (tb *Testbed) unreliableQPNs() map[uint32]bool {
+	var set map[uint32]bool
+	add := func(p *traffic.Pair) {
+		for qpn := range p.UnreliableQPNs() {
+			if set == nil {
+				set = map[uint32]bool{}
+			}
+			set[qpn] = true
+		}
+	}
+	if tb.Pair != nil {
+		add(tb.Pair)
+	}
+	for _, p := range tb.Pairs {
+		add(p)
+	}
+	return set
+}
+
 // Build assembles the testbed for cfg without starting traffic.
 func Build(cfg config.Test, opts Options) (*Testbed, error) {
+	if opts.Transport != "" {
+		if _, err := rnic.ParseTransport(opts.Transport); err != nil {
+			return nil, err
+		}
+		cfg.Traffic.Transport = opts.Transport
+		cfg.Traffic.QPTransport = nil
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -416,7 +455,8 @@ func (tb *Testbed) Execute() (*Report, error) {
 		// verdict probes are emitted before the Events snapshot so they
 		// appear as instants on the orchestrator timeline track.
 		rep.Lineage = lineage.Build(tr, hub.Events())
-		rep.Verdicts = analyzer.Verdicts(tr, rep.Lineage)
+		rep.Verdicts = analyzer.VerdictsWith(tr, rep.Lineage,
+			analyzer.VerdictOptions{UnreliableQPNs: tb.unreliableQPNs()})
 		for _, v := range rep.Verdicts {
 			result := "pass"
 			if !v.Pass {

@@ -1,0 +1,64 @@
+package orchestrator
+
+import (
+	"testing"
+
+	"github.com/lumina-sim/lumina/internal/config"
+	"github.com/lumina-sim/lumina/internal/sim"
+)
+
+// These digests were recorded on the RC transport engine BEFORE the
+// StackModel seam was carved out of internal/rnic. They pin the refactor
+// as behavior-preserving: the canonical summary.json (verdicts, chain
+// structure, durations, trace size) of an RC run must be byte-identical
+// before and after — any drift here means the seam changed RC semantics,
+// not just code layout.
+const (
+	rcGoldenDropDigest    = "28fe69be075aa4a0e4e7e6a132e8bfed2b59614d426479732814100b1933d9ff"
+	rcGoldenInOrderDigest = "139197ebf9f5225a804483570b8d77fe1bc847696f8c28fa6606031c2d38eb13"
+)
+
+func rcPinConfig() config.Test {
+	cfg := config.Default()
+	cfg.Name = "rc-refactor-pin"
+	cfg.Seed = 7
+	cfg.Requester.NIC.Type = "cx5"
+	cfg.Responder.NIC.Type = "cx5"
+	cfg.Traffic.Verb = "write"
+	cfg.Traffic.NumMsgsPerQP = 3
+	cfg.Traffic.Events = []config.Event{{QPN: 1, PSN: 5, Iter: 1, Type: "drop"}}
+	return cfg
+}
+
+func rcPinSendConfig() config.Test {
+	cfg := config.Default()
+	cfg.Name = "rc-refactor-pin-send"
+	cfg.Seed = 11
+	cfg.Traffic.Verb = "send"
+	cfg.Traffic.NumMsgsPerQP = 2
+	return cfg
+}
+
+func TestRCSummaryByteIdenticalAcrossStackModelRefactor(t *testing.T) {
+	opts := Options{Deadline: 600 * sim.Second, Lineage: true}
+	for _, tc := range []struct {
+		cfg    config.Test
+		golden string
+	}{
+		{rcPinConfig(), rcGoldenDropDigest},
+		{rcPinSendConfig(), rcGoldenInOrderDigest},
+	} {
+		rep, err := Run(tc.cfg, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.cfg.Name, err)
+		}
+		got, err := rep.SummaryDigest()
+		if err != nil {
+			t.Fatalf("%s: digest: %v", tc.cfg.Name, err)
+		}
+		if got != tc.golden {
+			t.Errorf("%s: summary digest %s, pre-refactor golden %s",
+				tc.cfg.Name, got, tc.golden)
+		}
+	}
+}

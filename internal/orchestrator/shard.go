@@ -485,7 +485,8 @@ func (tb *Testbed) executeSharded() (*Report, error) {
 	}
 	if tb.Opts.Lineage {
 		rep.Lineage = lineage.Build(tr, tb.spliceEvents())
-		rep.Verdicts = analyzer.Verdicts(tr, rep.Lineage)
+		rep.Verdicts = analyzer.VerdictsWith(tr, rep.Lineage,
+			analyzer.VerdictOptions{UnreliableQPNs: tb.unreliableQPNs()})
 		for _, v := range rep.Verdicts {
 			result := "pass"
 			if !v.Pass {

@@ -24,6 +24,8 @@ const (
 	CtrRnrNakRetry     = "rnr_nak_retry_err"
 	CtrRetryExceeded   = "retry_exceeded_err"
 	CtrApmProcessed    = "apm_slow_path_packets"
+	CtrUCRxDropped     = "uc_rx_dropped" // UC receiver silently discarded packets (gap, stale, MR, no recv)
+	CtrUDRxDropped     = "ud_rx_dropped" // UD datagrams discarded for lack of a posted receive
 )
 
 // Counters is a named-counter set with stable iteration order, matching

@@ -128,6 +128,7 @@ type QPConfig struct {
 	RetryCnt     int        // maximum retransmission retries
 	TrafficClass int        // ETS queue index
 	SrcIP        netip.Addr // GID to use (multi-GID emulation); zero = primary
+	Transport    Transport  // transport service type; zero value is RC
 }
 
 // Endpoint identifies one side of an RC connection — the metadata the
@@ -160,10 +161,15 @@ type readCtx struct {
 	rkey     uint32
 }
 
-// QP is one side of a Reliable Connection.
+// QP is one side of a connection. The common state below (PSN windows,
+// receive queue, transmit queue, timers) serves every transport; the
+// attached StackModel interprets it per the QP's service type — RC being
+// the paper's Reliable Connection engine, UC and UD the NAK-less
+// transports that treat losses as silent.
 type QP struct {
-	nic *NIC
-	cfg QPConfig
+	nic   *NIC
+	cfg   QPConfig
+	model StackModel
 
 	QPN  uint32
 	IPSN uint32
@@ -248,6 +254,7 @@ func (n *NIC) CreateQP(cfg QPConfig) *QP {
 	qp := &QP{
 		nic:        n,
 		cfg:        cfg,
+		model:      stackModelFor(cfg.Transport),
 		QPN:        qpn,
 		IPSN:       n.rng.Uint32() & packet.PSNMask,
 		udpSrcPort: uint16(49152 + n.rng.Intn(16384)),
@@ -297,6 +304,12 @@ func (qp *QP) Connect(remote Endpoint) {
 // exceeded or fatal NAK).
 func (qp *QP) Errored() bool { return qp.errored }
 
+// Transport returns the QP's transport service type.
+func (qp *QP) Transport() Transport { return qp.model.Transport() }
+
+// Model returns the transport engine driving this QP.
+func (qp *QP) Model() StackModel { return qp.model }
+
 // MTU returns the path MTU in use.
 func (qp *QP) MTU() int { return qp.cfg.MTU }
 
@@ -315,6 +328,10 @@ func (qp *QP) PostSend(req WorkRequest) error {
 	if qp.errored {
 		return fmt.Errorf("rnic: QP %#x in error state", qp.QPN)
 	}
+	if !qp.model.Supports(req.Verb) {
+		return fmt.Errorf("rnic: verb %s not supported on %s transport",
+			req.Verb, qp.model.Name())
+	}
 	if req.Verb.IsAtomic() {
 		req.Length = 8 // atomics operate on one 64-bit cell
 	}
@@ -324,6 +341,9 @@ func (qp *QP) PostSend(req WorkRequest) error {
 	npkts := (req.Length + qp.cfg.MTU - 1) / qp.cfg.MTU
 	if req.Verb.IsAtomic() {
 		npkts = 1
+	}
+	if err := qp.model.validateSend(qp, req, npkts); err != nil {
+		return err
 	}
 	w := &wqe{
 		req:      req,
@@ -347,16 +367,21 @@ func (qp *QP) pump() {
 		if w == nil {
 			panic(fmt.Sprintf("rnic: no WQE covers PSN %d", psn))
 		}
+		// sendPtr advances before the enqueue: on completion-at-transmit
+		// transports the scheduler may serialize the packet synchronously,
+		// complete the WQE, and re-enter pump from the application's
+		// completion callback — which must see this PSN as already handed
+		// off. (enqueue never reads sendPtr, so RC is order-indifferent.)
 		if w.req.Verb.IsAtomic() {
-			qp.enqueue(txPkt{kind: txAtomicReq, size: qp.atomicRequestWireLen(w), w: w, psn: psn})
 			qp.sendPtr = psnAdd(psn, 1)
+			qp.enqueue(txPkt{kind: txAtomicReq, size: qp.atomicRequestWireLen(w), w: w, psn: psn})
 		} else if w.req.Verb == VerbRead {
 			// One request packet asks for all remaining response PSNs.
-			qp.enqueue(txPkt{kind: txReadReq, size: qp.readRequestWireLen(), w: w, psn: psn})
 			qp.sendPtr = psnAdd(w.endPSN, 1)
+			qp.enqueue(txPkt{kind: txReadReq, size: qp.readRequestWireLen(), w: w, psn: psn})
 		} else {
-			qp.enqueue(txPkt{kind: txData, size: qp.dataWireLen(w, psn), w: w, psn: psn})
 			qp.sendPtr = psnAdd(psn, 1)
+			qp.enqueue(txPkt{kind: txData, size: qp.dataWireLen(w, psn), w: w, psn: psn})
 		}
 	}
 	qp.armTimer()
@@ -524,10 +549,15 @@ func (qp *QP) makeDataPacket(w *wqe, psn uint32, i int) *packet.Packet {
 }
 
 // buildDataPacket serializes the packet for psn, counting retransmissions.
+// The transport model's onTransmit hook runs after serialization — on
+// completion-at-transmit transports (UC/UD) it advances the send window
+// and completes the WQE; on RC it is a no-op.
 func (qp *QP) buildDataPacket(w *wqe, psn uint32) []byte {
 	i := int(psnSub(psn, w.startPSN))
 	qp.noteTransmit(psn)
-	return qp.makeDataPacket(w, psn, i).Serialize()
+	b := qp.makeDataPacket(w, psn, i).Serialize()
+	qp.model.onTransmit(qp, w, psn)
+	return b
 }
 
 func (qp *QP) readRequestWireLen() int {
@@ -584,11 +614,18 @@ func zeroPayload(n int) []byte {
 
 // --- receive-side processing ---
 
-// handlePacket processes a transport packet addressed to this QP.
+// handlePacket processes a transport packet addressed to this QP,
+// routing through the QP's transport engine.
 func (qp *QP) handlePacket(pkt *packet.Packet) {
 	if !qp.connected || qp.errored {
 		return
 	}
+	qp.model.handlePacket(qp, pkt)
+}
+
+// rcDispatch routes one packet through the RC engine's op-specific
+// handlers (the pre-StackModel handlePacket body, unchanged).
+func (qp *QP) rcDispatch(pkt *packet.Packet) {
 	op := pkt.BTH.Opcode
 	switch {
 	case op == packet.OpAtomicAcknowledge:
@@ -890,6 +927,13 @@ func (qp *QP) consumeRecv(pkt *packet.Packet) {
 		qp.sendAckPacket(pkt.BTH.PSN, packet.SyndromeRNRNak|10)
 		return
 	}
+	qp.deliverRecv(pkt)
+}
+
+// deliverRecv pops the head receive WQE and completes it for pkt — the
+// delivery path every transport shares once its own not-ready policy
+// (RC: RNR NAK; UC/UD: silent drop) has passed.
+func (qp *QP) deliverRecv(pkt *packet.Packet) {
 	rr := qp.recvs[0]
 	qp.recvs = qp.recvs[1:]
 	msgLen := int(psnSub(pkt.BTH.PSN, qp.msgStartPSN))*qp.cfg.MTU + len(pkt.Payload)
@@ -1243,9 +1287,13 @@ func (qp *QP) rto() sim.Duration {
 	return base << uint(exp)
 }
 
-// armTimer (re)arms the retransmission timer when data is outstanding
+// armTimer delegates to the transport engine: RC (re)arms the
+// retransmission timer; UC/UD never retransmit, so theirs is a no-op.
+func (qp *QP) armTimer() { qp.model.armTimer(qp) }
+
+// rcArmTimer (re)arms the retransmission timer when data is outstanding
 // and cancels it when everything is acknowledged.
-func (qp *QP) armTimer() {
+func (qp *QP) rcArmTimer() {
 	s := qp.nic.Sim
 	s.Cancel(qp.rtoTimer)
 	if qp.errored || !psnLT(qp.sndUna, qp.nextPSN) {

@@ -1,0 +1,113 @@
+package rnic
+
+import (
+	"github.com/lumina-sim/lumina/internal/coverage"
+	"github.com/lumina-sim/lumina/internal/packet"
+)
+
+// ucModel is Unreliable Connected: the connected, sequenced transport
+// without a reliability protocol. The receiver delivers in-sequence
+// packets exactly like RC, but a sequence error generates no NAK and no
+// retransmission ever happens — the rest of the damaged message is
+// silently discarded and the stream re-anchors at the next First/Only
+// packet. Send WQEs complete at transmit (there is nothing to wait for).
+type ucModel struct{}
+
+func (ucModel) Transport() Transport       { return TransportUC }
+func (ucModel) Name() string               { return "uc" }
+func (ucModel) Reliable() bool             { return false }
+func (ucModel) CompletionAtTransmit() bool { return true }
+
+// UC carries Sends and Writes; Reads and atomics require the RC
+// acknowledgement machinery.
+func (ucModel) Supports(v Verb) bool { return v == VerbSend || v == VerbWrite }
+
+func (ucModel) validateSend(*QP, WorkRequest, int) error { return nil }
+
+func (ucModel) handlePacket(qp *QP, pkt *packet.Packet) {
+	op := pkt.BTH.Opcode
+	if !op.IsSend() && !op.IsWrite() {
+		return // UC generates no ACKs, reads, or atomics; ignore strays
+	}
+	qp.ucHandleRequest(pkt)
+}
+
+func (ucModel) onTransmit(qp *QP, w *wqe, psn uint32) {
+	unreliableOnTransmit(qp, w, psn)
+}
+
+// UC never retransmits, so there is no timer to arm.
+func (ucModel) armTimer(*QP) {}
+
+// ucHandleRequest is the UC responder FSM. Three outcomes: in-sequence
+// packets are accepted; an out-of-sequence First/Only packet re-anchors
+// the stream (the gapped message is lost for good); anything else is
+// silently dropped — no NAK, no duplicate re-ACK, no state change.
+func (qp *QP) ucHandleRequest(pkt *packet.Packet) {
+	psn := pkt.BTH.PSN
+	op := pkt.BTH.Opcode
+	switch {
+	case psn == qp.ePSN:
+		qp.cov().Record(coverage.SiteUC, coverage.UCInOrder)
+		qp.ucAccept(pkt)
+	case op.IsFirst() || op.IsOnly():
+		// Resync: a message boundary re-anchors the expected PSN. The
+		// packets missing in between were a silent loss — count the
+		// detection (out_of_sequence) but never a sequence-error NAK.
+		qp.cov().Record(coverage.SiteUC, coverage.UCResync)
+		qp.nic.Counters.Inc(CtrOutOfSequence)
+		qp.nic.Counters.Inc(CtrUCRxDropped)
+		qp.ePSN = psn
+		qp.ucAccept(pkt)
+	case psnLT(qp.ePSN, psn):
+		// Mid-message packet past a gap: the head of its message was
+		// lost, so the fragment is undeliverable. Drop silently.
+		qp.cov().Record(coverage.SiteUC, coverage.UCDropGap)
+		qp.nic.Counters.Inc(CtrOutOfSequence)
+		qp.nic.Counters.Inc(CtrUCRxDropped)
+	default:
+		// Stale packet (delayed/reordered duplicate): UC never
+		// re-acknowledges — silent drop.
+		qp.cov().Record(coverage.SiteUC, coverage.UCDuplicate)
+		qp.nic.Counters.Inc(CtrDuplicateReq)
+		qp.nic.Counters.Inc(CtrUCRxDropped)
+	}
+}
+
+// ucAccept delivers one in-sequence (or resynced) packet: the RC accept
+// path minus every acknowledgement — MR failures and missing receives
+// drop silently instead of NAKing.
+func (qp *QP) ucAccept(pkt *packet.Packet) {
+	psn := pkt.BTH.PSN
+	op := pkt.BTH.Opcode
+	if op.IsFirst() || op.IsOnly() {
+		qp.msgStartPSN = psn
+		if op.IsWrite() {
+			if !qp.nic.lookupMR(pkt.RETH.RKey, pkt.RETH.VA, int(pkt.RETH.DMALen)) {
+				// UC has no NAK to send: the write vanishes.
+				qp.cov().Record(coverage.SiteUC, coverage.UCDropMR)
+				qp.nic.Counters.Inc(CtrUCRxDropped)
+				qp.ePSN = psnAdd(psn, 1)
+				return
+			}
+		}
+	}
+	qp.ePSN = psnAdd(psn, 1)
+	if op.IsLast() || op.IsOnly() {
+		qp.msn = (qp.msn + 1) & packet.PSNMask
+		if op.IsSend() || op.HasImm() {
+			qp.ucConsumeRecv(pkt)
+		}
+	}
+}
+
+// ucConsumeRecv delivers a receive completion; with no receive posted
+// the message is silently discarded (no RNR NAK on UC).
+func (qp *QP) ucConsumeRecv(pkt *packet.Packet) {
+	if len(qp.recvs) == 0 {
+		qp.cov().Record(coverage.SiteUC, coverage.UCNoRecv)
+		qp.nic.Counters.Inc(CtrUCRxDropped)
+		return
+	}
+	qp.deliverRecv(pkt)
+}

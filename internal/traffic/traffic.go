@@ -1,6 +1,7 @@
 // Package traffic implements Lumina's traffic generators (§3.2): a
 // requester and a responder application driving the NIC-under-test over
-// Reliable Connection QPs. The requester posts Send/Write/Read work
+// RC, UC, or UD QPs (per-connection, via the scenario's transport
+// fields). The requester posts Send/Write/Read work
 // requests with a bounded number of outstanding messages (tx-depth) and
 // optional barrier synchronization across QPs; the responder pre-posts
 // receives and owns the target memory regions. After setup, the pair
@@ -200,10 +201,15 @@ func NewPairLabeled(s *sim.Simulator, req, resp *rnic.NIC, cfg config.Traffic, l
 	p := &Pair{Sim: s, Req: req, Resp: resp, Cfg: cfg, verbs: verbs}
 	reqIPs := req.IPs()
 	for i := 0; i < cfg.NumConnections; i++ {
+		tp, err := rnic.ParseTransport(cfg.TransportOf(i))
+		if err != nil {
+			return nil, err
+		}
 		qcfg := rnic.QPConfig{
 			MTU:        cfg.MTU,
 			TimeoutExp: cfg.MinRetransmitTimeout,
 			RetryCnt:   cfg.MaxRetransmitRetry,
+			Transport:  tp,
 		}
 		if i < len(cfg.QPTrafficClass) {
 			qcfg.TrafficClass = cfg.QPTrafficClass[i]
@@ -234,6 +240,25 @@ func NewPairLabeled(s *sim.Simulator, req, resp *rnic.NIC, cfg config.Traffic, l
 		p.conns = append(p.conns, c)
 	}
 	return p, nil
+}
+
+// UnreliableQPNs returns the destination QPNs (both directions) of
+// every connection running on an unreliable transport (UC/UD), or nil
+// when the pair is all-RC. The analyzers use the set to attribute drops
+// on these QPs as expected silent losses rather than recovery failures.
+func (p *Pair) UnreliableQPNs() map[uint32]bool {
+	var set map[uint32]bool
+	for _, c := range p.conns {
+		if c.reqQP.Model().Reliable() {
+			continue
+		}
+		if set == nil {
+			set = map[uint32]bool{}
+		}
+		set[c.reqQP.QPN] = true
+		set[c.respQP.QPN] = true
+	}
+	return set
 }
 
 // ConnMetas returns the runtime metadata the requester shares with the

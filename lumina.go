@@ -82,14 +82,45 @@ func WriteTimeline(w io.Writer, events []TelemetryEvent) error {
 
 // Analyzer types (§4's built-in test suite).
 type (
-	GBNReport     = analyzer.GBNReport
-	Violation     = analyzer.Violation
-	RetransEvent  = analyzer.RetransEvent
-	CNPReport     = analyzer.CNPReport
-	Inconsistency = analyzer.Inconsistency
-	HostView      = analyzer.HostView
-	Verdict       = analyzer.Verdict
+	GBNReport      = analyzer.GBNReport
+	Violation      = analyzer.Violation
+	RetransEvent   = analyzer.RetransEvent
+	CNPReport      = analyzer.CNPReport
+	Inconsistency  = analyzer.Inconsistency
+	HostView       = analyzer.HostView
+	Verdict        = analyzer.Verdict
+	VerdictOptions = analyzer.VerdictOptions
+	SilentLoss     = analyzer.SilentLoss
 )
+
+// Transports (Options.Transport / the scenario's transport fields):
+// the pluggable RoCE service types behind internal/rnic's StackModel
+// seam — "rc" (Go-back-N reliable connection, the default), "uc"
+// (NAK-less sequenced delivery: out-of-sequence packets are dropped
+// without retransmission), and "ud" (single-MTU datagrams with no
+// sequencing at all).
+type Transport = rnic.Transport
+
+// Transport values.
+const (
+	TransportRC = rnic.TransportRC
+	TransportUC = rnic.TransportUC
+	TransportUD = rnic.TransportUD
+)
+
+// ParseTransport resolves a transport name ("" means RC); unknown names
+// error, listing the valid transports.
+func ParseTransport(name string) (Transport, error) { return rnic.ParseTransport(name) }
+
+// TransportNames lists the valid transport names, sorted.
+func TransportNames() []string { return rnic.TransportNames() }
+
+// AnalyzeSilentLoss checks the UC/UD silent-loss contract: drops into
+// the given destination QPNs must provoke neither a NAK nor a
+// retransmission on the wire.
+func AnalyzeSilentLoss(tr *Trace, unreliable map[uint32]bool) []SilentLoss {
+	return analyzer.AnalyzeSilentLoss(tr, unreliable)
+}
 
 // Lineage (Options.Lineage: the causal packet-lifecycle DAG behind
 // Report.Lineage, `lumina-trace explain`, and summary.json).
